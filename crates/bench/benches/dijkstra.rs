@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the topology substrate: transit-stub generation,
+//! single-source Dijkstra, and cached RTT measurement on the mini presets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tao_topology::{
+    generate_transit_stub, shortest_paths, LatencyAssignment, NodeIdx, RttOracle,
+    SpCache, TransitStubParams,
+};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate_tsk_large_mini", |b| {
+        b.iter(|| {
+            generate_transit_stub(
+                black_box(&TransitStubParams::tsk_large_mini()),
+                LatencyAssignment::manual(),
+                7,
+            )
+        })
+    });
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let topo = generate_transit_stub(
+        &TransitStubParams::tsk_large_mini(),
+        LatencyAssignment::gt_itm(),
+        7,
+    );
+    c.bench_function("dijkstra_mini_topology", |b| {
+        b.iter(|| shortest_paths(topo.graph(), black_box(NodeIdx(0))))
+    });
+
+    let cache = SpCache::new();
+    cache.distances(topo.graph(), NodeIdx(0));
+    c.bench_function("cached_distance_lookup", |b| {
+        b.iter(|| cache.distance(topo.graph(), black_box(NodeIdx(0)), black_box(NodeIdx(900))))
+    });
+}
+
+fn bench_rtt_oracle(c: &mut Criterion) {
+    let topo = generate_transit_stub(
+        &TransitStubParams::tsk_small_mini(),
+        LatencyAssignment::manual(),
+        9,
+    );
+    let oracle = RttOracle::new(topo.graph().clone());
+    oracle.warm(&[NodeIdx(5)]);
+    c.bench_function("rtt_measure_warm", |b| {
+        b.iter(|| oracle.measure(black_box(NodeIdx(777)), black_box(NodeIdx(5))))
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_dijkstra, bench_rtt_oracle);
+criterion_main!(benches);

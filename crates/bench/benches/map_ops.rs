@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the soft-state maps: publish, the Table-1 lookup,
+//! TTL expiry sweeps, and wire encoding.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tao_landmark::{LandmarkGrid, LandmarkVector};
+use tao_overlay::{OverlayNodeId, Zone};
+use tao_sim::{SimDuration, SimTime};
+use tao_softstate::{NodeInfo, SoftStateConfig, SoftStateEntry, ZoneMap};
+use tao_topology::NodeIdx;
+
+fn config() -> SoftStateConfig {
+    let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).expect("valid grid");
+    SoftStateConfig::builder(grid).build()
+}
+
+fn info(id: u32, cfg: &SoftStateConfig) -> NodeInfo {
+    let base = (id % 97) as f64 * 3.0 + 1.0;
+    let vector = LandmarkVector::from_millis(&[base, base * 1.7, base * 0.4]);
+    let number = cfg.grid().landmark_number(&vector, cfg.curve());
+    NodeInfo {
+        node: OverlayNodeId(id),
+        underlay: NodeIdx(id),
+        vector,
+        number,
+        load: None,
+    }
+}
+
+fn filled_map(n: u32, cfg: &SoftStateConfig) -> ZoneMap {
+    let mut map = ZoneMap::new(Zone::whole(2), cfg);
+    for i in 0..n {
+        map.publish(info(i, cfg), SimTime::ORIGIN, cfg);
+    }
+    map
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let cfg = config();
+    c.bench_function("map_publish_into_1k", |b| {
+        let base = filled_map(1_024, &cfg);
+        b.iter_batched(
+            || base.clone(),
+            |mut map| map.publish(info(99_999, &cfg), SimTime::ORIGIN, &cfg),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let cfg = config();
+    let map = filled_map(1_024, &cfg);
+    let q = info(500_000, &cfg);
+    c.bench_function("map_lookup_table1_1k", |b| {
+        b.iter(|| {
+            map.lookup(
+                black_box(&q.vector),
+                black_box(q.number),
+                10,
+                64,
+                SimTime::ORIGIN,
+            )
+        })
+    });
+}
+
+fn bench_expire(c: &mut Criterion) {
+    let cfg = config();
+    c.bench_function("map_expire_sweep_1k", |b| {
+        let base = filled_map(1_024, &cfg);
+        let later = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_secs(1);
+        b.iter_batched(
+            || base.clone(),
+            |mut map| map.expire(later),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let cfg = config();
+    let entry = SoftStateEntry {
+        info: info(7, &cfg),
+        position: tao_overlay::Point::new(vec![0.25, 0.75]).expect("valid point"),
+        expires_at: SimTime::from_micros(1_000_000),
+    };
+    c.bench_function("entry_encode", |b| b.iter(|| black_box(&entry).encode()));
+    let bytes = entry.encode();
+    c.bench_function("entry_decode", |b| {
+        b.iter(|| SoftStateEntry::decode(black_box(bytes.clone())))
+    });
+}
+
+criterion_group!(benches, bench_publish, bench_lookup, bench_expire, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: the landmark-vector-index size (DESIGN.md §5).
+//!
+//! The appendix's optimisation: use only a few components of the landmark
+//! vector (say 3) to compute the landmark number, keeping the full vector
+//! for final ranking. This sweep shows how many components the scalar key
+//! actually needs before returns diminish.
+
+use tao_bench::{f3, print_table, Scale};
+use tao_core::experiment::{routes_for, topology_for};
+use tao_core::{ExperimentParams, SelectionStrategy, TaoBuilder};
+use tao_topology::LatencyAssignment;
+
+const LVI_SIZES: &[usize] = &[1, 2, 3, 5, 8];
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = scale.base_params();
+    eprintln!("ablation_lvi: building tsk-large (manual latencies)…");
+    let topo = topology_for(&scale.tsk_large(), LatencyAssignment::manual(), 131);
+    let mut rows = Vec::new();
+    for &lvi in LVI_SIZES {
+        eprintln!("ablation_lvi: index size {lvi}…");
+        let params = ExperimentParams {
+            landmark_vector_index: lvi,
+            selection: SelectionStrategy::GlobalState,
+            ..base
+        };
+        let mut builder = TaoBuilder::new();
+        builder.params(params).seed(132);
+        let tao = builder.build_on(topo.clone());
+        let stretch = tao
+            .measure_routing_stretch(routes_for(params.overlay_nodes), 133)
+            .mean();
+        rows.push(vec![lvi.to_string(), f3(stretch)]);
+    }
+    print_table(
+        "Ablation: landmark-vector-index size (tsk-large, manual latencies)",
+        &["index components", "routing stretch"],
+        &rows,
+    );
+}

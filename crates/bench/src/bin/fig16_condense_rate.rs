@@ -1,0 +1,36 @@
+//! Figure 16: the effect of the map condense rate — entries hosted per node
+//! (dashed line in the paper) and routing stretch (solid line) as the maps
+//! are spread over more or less of each region.
+//!
+//! Expected shape: stretch is essentially flat across rates (the paper:
+//! "as long as there are about 20 entries on each node, the performance
+//! impact is negligible"), while hosting concentration shifts.
+
+use tao_bench::{f3, print_table, Scale};
+use tao_core::experiment::{condense_sweep, topology_for};
+use tao_topology::LatencyAssignment;
+
+const RATES: &[f64] = &[1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625];
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = scale.base_params();
+    eprintln!("fig16: building tsk-large (manual latencies)…");
+    let topo = topology_for(&scale.tsk_large(), LatencyAssignment::manual(), 81);
+    let rows = condense_sweep(&topo, base, RATES, 82);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("1/{}", (1.0 / r.rate).round() as u64),
+                f3(r.entries_per_node),
+                f3(r.stretch),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 16: map condense rate vs hosting burden and stretch (tsk-large, manual)",
+        &["condense rate", "map entries/node", "stretch"],
+        &table,
+    );
+}

@@ -1,0 +1,187 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary honours the `TAO_SCALE` environment variable:
+//!
+//! * `paper` (default) — the paper's scale: ~10,000-router topologies,
+//!   1,024-node overlays, 100 query nodes, 2N measured routes.
+//! * `mini` — ~1/10 scale for smoke runs and CI.
+//!
+//! Output format is one whitespace-aligned table per figure, with the same
+//! rows/series the paper plots; see `EXPERIMENTS.md` for the recorded runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tao_core::ExperimentParams;
+use tao_topology::TransitStubParams;
+
+/// Experiment scale, selected via the `TAO_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's scale (~10k routers, 1,024-node overlays).
+    Paper,
+    /// Roughly 1/10 scale, for smoke tests.
+    Mini,
+}
+
+impl Scale {
+    /// Reads `TAO_SCALE` (`paper` | `mini`), defaulting to `Paper`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value, listing the accepted ones.
+    pub fn from_env() -> Scale {
+        match std::env::var("TAO_SCALE").as_deref() {
+            Err(_) | Ok("paper") | Ok("") => Scale::Paper,
+            Ok("mini") => Scale::Mini,
+            Ok(other) => panic!("TAO_SCALE must be `paper` or `mini`, got `{other}`"),
+        }
+    }
+
+    /// The `tsk-large` topology at this scale.
+    pub fn tsk_large(self) -> TransitStubParams {
+        match self {
+            Scale::Paper => TransitStubParams::tsk_large(),
+            Scale::Mini => TransitStubParams::tsk_large_mini(),
+        }
+    }
+
+    /// The `tsk-small` topology at this scale.
+    pub fn tsk_small(self) -> TransitStubParams {
+        match self {
+            Scale::Paper => TransitStubParams::tsk_small(),
+            Scale::Mini => TransitStubParams::tsk_small_mini(),
+        }
+    }
+
+    /// Default experiment parameters at this scale.
+    pub fn base_params(self) -> ExperimentParams {
+        match self {
+            Scale::Paper => ExperimentParams::default(),
+            Scale::Mini => ExperimentParams {
+                overlay_nodes: 256,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Number of query nodes for the nearest-neighbor experiments.
+    pub fn query_nodes(self) -> usize {
+        match self {
+            Scale::Paper => 100,
+            Scale::Mini => 30,
+        }
+    }
+}
+
+/// Prints a whitespace-aligned table: a header row, then one row per entry.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n# {title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats an `f64` with three decimals (common cell format).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_pick_matching_presets() {
+        assert_eq!(Scale::Paper.tsk_large().total_nodes(), 10_016);
+        assert!(Scale::Mini.tsk_large().total_nodes() < 2_000);
+        assert_eq!(Scale::Paper.base_params().overlay_nodes, 1024);
+        assert_eq!(Scale::Mini.base_params().overlay_nodes, 256);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, preserving
+/// order. Results arrive as if by `items.iter().map(f)`, but wall-clock
+/// drops by the parallelism the machine offers.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or a worker thread panics.
+pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let next = work.lock().expect("work queue poisoned").pop();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().expect("results poisoned").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    for (i, r) in results.into_inner().expect("results poisoned") {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::par_map;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let out = par_map((0..100).collect::<Vec<i32>>(), 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_map() {
+        let out = par_map(vec!["a", "bb"], 1, |s| s.len());
+        assert_eq!(out, vec![1, 2]);
+    }
+}

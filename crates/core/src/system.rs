@@ -1,0 +1,683 @@
+//! The assembled system: topology + landmarks + eCAN + global soft-state.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
+use tao_overlay::ecan::{ClosestSelector, EcanOverlay, RandomSelector};
+use tao_overlay::{CanOverlay, OverlayNodeId, Point};
+use tao_sim::{SimDuration, SimTime};
+use tao_softstate::pubsub::{self, PubSub};
+use tao_softstate::{GlobalState, NodeInfo, SoftStateConfig};
+use tao_topology::landmarks::{select_landmarks, LandmarkStrategy};
+use tao_topology::{
+    generate_transit_stub, LatencyAssignment, NodeIdx, RttOracle, Topology, TransitStubParams,
+};
+
+use crate::metrics::StretchSummary;
+use crate::params::{ExperimentParams, SelectionStrategy};
+use crate::selector::GlobalStateSelector;
+
+/// Builder for [`TopologyAwareOverlay`].
+///
+/// # Example
+///
+/// See the [crate documentation](crate).
+#[derive(Debug, Clone)]
+pub struct TaoBuilder {
+    topology_params: TransitStubParams,
+    latency: LatencyAssignment,
+    params: ExperimentParams,
+    landmark_strategy: LandmarkStrategy,
+    curve: SpaceFillingCurve,
+    seed: u64,
+}
+
+impl Default for TaoBuilder {
+    fn default() -> Self {
+        TaoBuilder::new()
+    }
+}
+
+impl TaoBuilder {
+    /// Starts a builder with Table-2 defaults on a mini `tsk-large`
+    /// topology with manual latencies.
+    pub fn new() -> Self {
+        TaoBuilder {
+            topology_params: TransitStubParams::tsk_large_mini(),
+            latency: LatencyAssignment::manual(),
+            params: ExperimentParams::default(),
+            landmark_strategy: LandmarkStrategy::Random,
+            curve: SpaceFillingCurve::Hilbert,
+            seed: 0,
+        }
+    }
+
+    /// Sets the transit-stub topology to generate.
+    pub fn topology(&mut self, params: TransitStubParams) -> &mut Self {
+        self.topology_params = params;
+        self
+    }
+
+    /// Sets the link-latency assignment.
+    pub fn latency(&mut self, latency: LatencyAssignment) -> &mut Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the full experiment parameter block at once.
+    pub fn params(&mut self, params: ExperimentParams) -> &mut Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the number of overlay nodes.
+    pub fn overlay_nodes(&mut self, n: usize) -> &mut Self {
+        self.params.overlay_nodes = n;
+        self
+    }
+
+    /// Sets the number of landmarks.
+    pub fn landmarks(&mut self, n: usize) -> &mut Self {
+        self.params.landmarks = n;
+        self
+    }
+
+    /// Sets the RTT budget per neighbor selection (the paper's X).
+    pub fn rtt_budget(&mut self, n: usize) -> &mut Self {
+        self.params.rtt_budget = n;
+        self
+    }
+
+    /// Sets the map condense rate.
+    pub fn condense_rate(&mut self, rate: f64) -> &mut Self {
+        self.params.condense_rate = rate;
+        self
+    }
+
+    /// Sets the neighbor-selection strategy.
+    pub fn selection(&mut self, s: SelectionStrategy) -> &mut Self {
+        self.params.selection = s;
+        self
+    }
+
+    /// Sets the landmark placement strategy.
+    pub fn landmark_strategy(&mut self, s: LandmarkStrategy) -> &mut Self {
+        self.landmark_strategy = s;
+        self
+    }
+
+    /// Sets the space-filling curve used for landmark numbers and map
+    /// placement (default: Hilbert; the alternatives exist for ablations).
+    pub fn curve(&mut self, curve: SpaceFillingCurve) -> &mut Self {
+        self.curve = curve;
+        self
+    }
+
+    /// Sets the master RNG seed (topology, joins, selections).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the topology and assembles the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (see
+    /// [`ExperimentParams::validate`]) or the overlay would need more nodes
+    /// than the topology has routers.
+    pub fn build(&self) -> TopologyAwareOverlay {
+        let topology = generate_transit_stub(&self.topology_params, self.latency, self.seed);
+        self.build_on(topology)
+    }
+
+    /// Assembles the overlay on an existing topology (lets experiments
+    /// share one 10k-router graph across many configurations).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TaoBuilder::build`].
+    pub fn build_on(&self, topology: Topology) -> TopologyAwareOverlay {
+        self.params.validate();
+        assert!(
+            self.params.overlay_nodes <= topology.graph().node_count(),
+            "overlay larger than the topology"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x7a0));
+        let oracle = RttOracle::new(topology.graph().clone());
+
+        // 1. Landmarks; warm their distance vectors so vector measurement is
+        //    one Dijkstra per landmark, not per node.
+        let landmarks = select_landmarks(
+            topology.graph(),
+            self.params.landmarks,
+            self.landmark_strategy,
+            &mut rng,
+        );
+        oracle.warm(&landmarks);
+
+        // 2. Pick participants and grow the CAN with uniform random joins.
+        let participants = topology.sample_nodes(self.params.overlay_nodes, &mut rng);
+        let mut can = CanOverlay::new(self.params.dims).expect("dims >= 2");
+        for &router in &participants {
+            can.join(router, Point::random(self.params.dims, &mut rng));
+        }
+
+        // 3. Landmark vectors and numbers (RTT probes, charged).
+        let grid_ceiling = landmark_space_ceiling(&oracle, &landmarks);
+        let grid = LandmarkGrid::new(
+            self.params.landmark_vector_index,
+            self.params.grid_bits,
+            grid_ceiling,
+        )
+        .expect("validated grid parameters");
+        let config = SoftStateConfig::builder(grid)
+            .curve(self.curve)
+            .condense_rate(self.params.condense_rate)
+            .build();
+        let mut infos = HashMap::new();
+        for id in can.live_nodes().collect::<Vec<_>>() {
+            let underlay = can.underlay(id);
+            let vector = LandmarkVector::measure(underlay, &landmarks, &oracle);
+            let number = config.grid().landmark_number(&vector, config.curve());
+            infos.insert(
+                id,
+                NodeInfo {
+                    node: id,
+                    underlay,
+                    vector,
+                    number,
+                    load: None,
+                },
+            );
+        }
+
+        // 4. Build the eCAN with the configured neighbor selection, after
+        //    publishing everyone's soft-state.
+        let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(self.seed));
+        let mut state = GlobalState::new(config);
+        let now = SimTime::ORIGIN;
+        for info in infos.values() {
+            state.publish(info.clone(), &ecan, now);
+        }
+        match self.params.selection {
+            SelectionStrategy::Random => {
+                // Already selected randomly at build.
+            }
+            SelectionStrategy::Optimal => {
+                let mut sel = ClosestSelector::new(oracle.clone());
+                ecan.reselect(&mut sel);
+            }
+            SelectionStrategy::GlobalState => {
+                let mut sel = GlobalStateSelector::new(
+                    &state,
+                    &oracle,
+                    &infos,
+                    self.params.rtt_budget,
+                    now,
+                    self.seed.wrapping_add(0x5e1),
+                );
+                ecan.reselect(&mut sel);
+            }
+        }
+
+        TopologyAwareOverlay {
+            topology,
+            oracle,
+            landmarks,
+            params: self.params,
+            ecan,
+            state,
+            pubsub: PubSub::new(),
+            infos,
+            now,
+        }
+    }
+}
+
+/// An RTT ceiling for the landmark grid: twice the largest landmark-to-
+/// landmark distance (so in-range vectors rarely saturate).
+fn landmark_space_ceiling(oracle: &RttOracle, landmarks: &[NodeIdx]) -> SimDuration {
+    let mut max = SimDuration::from_millis(1);
+    for (i, &a) in landmarks.iter().enumerate() {
+        for &b in &landmarks[i + 1..] {
+            max = max.max(oracle.ground_truth(a, b));
+        }
+    }
+    max * 2
+}
+
+/// The assembled topology-aware overlay: the object experiments measure.
+#[derive(Debug)]
+pub struct TopologyAwareOverlay {
+    topology: Topology,
+    oracle: RttOracle,
+    landmarks: Vec<NodeIdx>,
+    params: ExperimentParams,
+    ecan: EcanOverlay,
+    state: GlobalState,
+    pubsub: PubSub,
+    infos: HashMap<OverlayNodeId, NodeInfo>,
+    now: SimTime,
+}
+
+impl TopologyAwareOverlay {
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The RTT oracle (shared meter).
+    pub fn oracle(&self) -> &RttOracle {
+        &self.oracle
+    }
+
+    /// The landmark routers.
+    pub fn landmarks(&self) -> &[NodeIdx] {
+        &self.landmarks
+    }
+
+    /// The experiment parameters the system was built with.
+    pub fn params(&self) -> &ExperimentParams {
+        &self.params
+    }
+
+    /// The eCAN overlay.
+    pub fn ecan(&self) -> &EcanOverlay {
+        &self.ecan
+    }
+
+    /// The global soft-state.
+    pub fn state(&self) -> &GlobalState {
+        &self.state
+    }
+
+    /// Mutable access to the global soft-state (for churn experiments).
+    pub fn state_mut(&mut self) -> &mut GlobalState {
+        &mut self.state
+    }
+
+    /// The pub/sub registry.
+    pub fn pubsub(&self) -> &PubSub {
+        &self.pubsub
+    }
+
+    /// Mutable access to the pub/sub registry.
+    pub fn pubsub_mut(&mut self) -> &mut PubSub {
+        &mut self.pubsub
+    }
+
+    /// Published info of an overlay node.
+    pub fn info(&self, id: OverlayNodeId) -> Option<&NodeInfo> {
+        self.infos.get(&id)
+    }
+
+    /// Current virtual time of the system.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances virtual time (TTL decay is visible to subsequent lookups).
+    pub fn advance(&mut self, by: SimDuration) {
+        self.now += by;
+    }
+
+    /// Measures routing stretch over `routes` random `(source, target)`
+    /// pairs: the ratio of accumulated latency along the eCAN route to the
+    /// shortest-path latency from source to the target's owner.
+    ///
+    /// Pairs whose source owns the target point, or whose endpoints are
+    /// co-located (zero shortest path), are skipped, as are the rare pairs
+    /// where greedy routing dead-ends.
+    pub fn measure_routing_stretch(&self, routes: usize, seed: u64) -> StretchSummary {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let live: Vec<OverlayNodeId> = self.ecan.can().live_nodes().collect();
+        let mut summary = StretchSummary::new();
+        for _ in 0..routes {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(self.params.dims, &mut rng);
+            let Ok(route) = self.ecan.route_express(src, &target) else {
+                continue;
+            };
+            if route.hop_count() == 0 {
+                continue;
+            }
+            let dst = *route.hops.last().expect("routes are non-empty");
+            let direct = self
+                .oracle
+                .ground_truth(self.ecan.can().underlay(src), self.ecan.can().underlay(dst));
+            if direct.is_zero() {
+                continue;
+            }
+            let mut path = SimDuration::ZERO;
+            for w in route.hops.windows(2) {
+                path += self
+                    .oracle
+                    .ground_truth(self.ecan.can().underlay(w[0]), self.ecan.can().underlay(w[1]));
+            }
+            summary.add(path / direct);
+        }
+        summary
+    }
+
+    /// Joins a new node onto underlay router `underlay`, running the
+    /// paper's full join pipeline:
+    ///
+    /// 1. pick a random point and split the owner's zone (eCAN join),
+    /// 2. measure the landmark vector (charged RTT probes) and derive the
+    ///    landmark number,
+    /// 3. publish the node's soft-state into every enclosing high-order
+    ///    zone's map,
+    /// 4. select the newcomer's expressway representatives through the
+    ///    configured strategy,
+    /// 5. notify `NodeJoined` subscribers of the affected zones.
+    ///
+    /// Returns the new node's id and the subscribers notified.
+    pub fn join_node(&mut self, underlay: NodeIdx) -> (OverlayNodeId, Vec<OverlayNodeId>) {
+        let mut rng = StdRng::seed_from_u64(self.now.as_micros() ^ u64::from(underlay.0));
+        let point = Point::random(self.params.dims, &mut rng);
+        let id = self.ecan.join_unselected(underlay, point);
+
+        let vector = LandmarkVector::measure(underlay, &self.landmarks, &self.oracle);
+        let config = *self.state.config();
+        let number = config.grid().landmark_number(&vector, config.curve());
+        let info = NodeInfo {
+            node: id,
+            underlay,
+            vector,
+            number,
+            load: None,
+        };
+        self.state.publish(info.clone(), &self.ecan, self.now);
+        self.infos.insert(id, info.clone());
+
+        // Select the newcomer's expressways; its split partner's table is
+        // refreshed too since its zone changed shape.
+        let mut affected: Vec<OverlayNodeId> =
+            self.ecan.can().neighbors(id).unwrap_or_default();
+        affected.push(id);
+        self.reselect_nodes(&affected);
+
+        // Demand-driven maintenance: tell subscribers of every zone the
+        // newcomer landed in.
+        let mut notified = Vec::new();
+        for zone in self.ecan.enclosing_high_order_zones(id) {
+            notified.extend(
+                self.pubsub
+                    .publish(&zone, &pubsub::Event::NodeJoined(info.clone())),
+            );
+        }
+        notified.sort();
+        notified.dedup();
+        notified.retain(|n| *n != id);
+        // Notified nodes re-select against the fresh state (§5.2: "get
+        // notified as the state changes necessitate neighbor re-selection").
+        self.reselect_nodes(&notified);
+        (id, notified)
+    }
+
+    /// Departs `node` from the overlay: the CAN hands its zone to a
+    /// neighbor, the node\'s expressway table is dropped, and every node
+    /// whose table referenced it re-selects. How the *soft-state* learns
+    /// about the departure is the experiment\'s choice (see
+    /// [`tao_softstate::MaintenancePolicy`]); this method leaves the maps
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tao_overlay::OverlayError`] from the CAN departure.
+    pub fn depart(&mut self, node: OverlayNodeId) -> Result<(), tao_overlay::OverlayError> {
+        let dependents = self.ecan.dependents_of(node);
+        self.ecan.depart(node)?;
+        self.infos.remove(&node);
+        self.reselect_nodes(&dependents);
+        Ok(())
+    }
+
+    /// Re-runs neighbor selection for the given nodes only, with the
+    /// system\'s configured strategy.
+    pub fn reselect_nodes(&mut self, nodes: &[OverlayNodeId]) {
+        match self.params.selection {
+            SelectionStrategy::Random => {
+                let mut sel = RandomSelector::new(self.now.as_micros());
+                for &id in nodes {
+                    self.ecan.reselect_node(id, &mut sel);
+                }
+            }
+            SelectionStrategy::Optimal => {
+                let mut sel = ClosestSelector::new(self.oracle.clone());
+                for &id in nodes {
+                    self.ecan.reselect_node(id, &mut sel);
+                }
+            }
+            SelectionStrategy::GlobalState => {
+                let mut sel = GlobalStateSelector::new(
+                    &self.state,
+                    &self.oracle,
+                    &self.infos,
+                    self.params.rtt_budget,
+                    self.now,
+                    self.now.as_micros() ^ 0x5e2,
+                );
+                for &id in nodes {
+                    self.ecan.reselect_node(id, &mut sel);
+                }
+            }
+        }
+    }
+
+    /// Re-runs neighbor selection with the system's configured strategy
+    /// against the *current* soft-state (e.g. after churn or TTL decay).
+    pub fn reselect(&mut self) {
+        match self.params.selection {
+            SelectionStrategy::Random => {
+                let mut sel = RandomSelector::new(self.now.as_micros());
+                self.ecan.reselect(&mut sel);
+            }
+            SelectionStrategy::Optimal => {
+                let mut sel = ClosestSelector::new(self.oracle.clone());
+                self.ecan.reselect(&mut sel);
+            }
+            SelectionStrategy::GlobalState => {
+                let mut sel = GlobalStateSelector::new(
+                    &self.state,
+                    &self.oracle,
+                    &self.infos,
+                    self.params.rtt_budget,
+                    self.now,
+                    self.now.as_micros() ^ 0x5e1,
+                );
+                self.ecan.reselect(&mut sel);
+                let _ = sel.probes_spent();
+            }
+        }
+    }
+
+    /// Draws `count` distinct live overlay nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of live nodes.
+    pub fn sample_overlay_nodes(&self, count: usize, seed: u64) -> Vec<OverlayNodeId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live: Vec<OverlayNodeId> = self.ecan.can().live_nodes().collect();
+        assert!(count <= live.len(), "not enough live nodes");
+        live.shuffle(&mut rng);
+        live.truncate(count);
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_builder() -> TaoBuilder {
+        let mut b = TaoBuilder::new();
+        b.topology(TransitStubParams::tsk_small_mini())
+            .overlay_nodes(128)
+            .landmarks(5)
+            .rtt_budget(5)
+            .seed(11);
+        b
+    }
+
+    #[test]
+    fn builds_a_consistent_system() {
+        let tao = small_builder().build();
+        assert_eq!(tao.ecan().can().len(), 128);
+        assert_eq!(tao.landmarks().len(), 5);
+        assert!(tao.state().total_entries() > 0);
+        // Every live node has published info.
+        for id in tao.ecan().can().live_nodes() {
+            assert!(tao.info(id).is_some());
+        }
+    }
+
+    #[test]
+    fn global_state_beats_random_selection_on_stretch() {
+        let mut b = small_builder();
+        let baseline = {
+            b.selection(SelectionStrategy::Random);
+            b.build().measure_routing_stretch(400, 3)
+        };
+        let aware = {
+            b.selection(SelectionStrategy::GlobalState);
+            b.build().measure_routing_stretch(400, 3)
+        };
+        assert!(
+            aware.mean() < baseline.mean(),
+            "global state ({:.3}) should beat random ({:.3})",
+            aware.mean(),
+            baseline.mean()
+        );
+    }
+
+    #[test]
+    fn optimal_is_a_lower_bound_for_global_state() {
+        let mut b = small_builder();
+        let optimal = {
+            b.selection(SelectionStrategy::Optimal);
+            b.build().measure_routing_stretch(400, 5)
+        };
+        let aware = {
+            b.selection(SelectionStrategy::GlobalState);
+            b.build().measure_routing_stretch(400, 5)
+        };
+        // Allow a whisker of sampling noise.
+        assert!(
+            optimal.mean() <= aware.mean() * 1.05,
+            "optimal ({:.3}) must not lose to global state ({:.3})",
+            optimal.mean(),
+            aware.mean()
+        );
+    }
+
+    #[test]
+    fn departures_keep_routing_consistent() {
+        let mut tao = small_builder().build();
+        let victims = tao.sample_overlay_nodes(10, 1);
+        for v in victims {
+            tao.depart(v).unwrap();
+        }
+        assert_eq!(tao.ecan().can().len(), 118);
+        tao.reselect();
+        let s = tao.measure_routing_stretch(100, 2);
+        assert!(s.count() > 0);
+        assert!(s.mean() >= 1.0);
+    }
+
+    #[test]
+    fn stretch_is_at_least_one() {
+        let tao = small_builder().build();
+        let s = tao.measure_routing_stretch(300, 9);
+        assert!(s.count() > 200, "most samples must be valid");
+        assert!(s.min() >= 1.0 - 1e-9, "stretch below 1 is impossible");
+    }
+
+    #[test]
+    fn incremental_join_publishes_and_selects() {
+        let mut tao = small_builder().build();
+        let before_entries = tao.state().total_entries();
+        // Pick an underlay router not already in the overlay.
+        let used: std::collections::HashSet<_> = tao
+            .ecan()
+            .can()
+            .live_nodes()
+            .map(|id| tao.ecan().can().underlay(id))
+            .collect();
+        let fresh = tao
+            .topology()
+            .graph()
+            .nodes()
+            .find(|n| !used.contains(n))
+            .expect("topology has spare routers");
+        let (id, _) = tao.join_node(fresh);
+        assert_eq!(tao.ecan().can().len(), 129);
+        assert!(tao.info(id).is_some());
+        assert!(tao.state().total_entries() > before_entries);
+        // Newcomer has an expressway table (unless its zone is shallow).
+        let s = tao.measure_routing_stretch(100, 3);
+        assert!(s.count() > 50);
+    }
+
+    #[test]
+    fn join_notifies_subscribers_who_reselect() {
+        use tao_softstate::pubsub::Predicate;
+        let mut tao = small_builder().build();
+        // Everyone subscribes to joins in their smallest high-order zone.
+        let live: Vec<OverlayNodeId> = tao.ecan().can().live_nodes().collect();
+        for &id in &live {
+            if let Some(zone) = tao.ecan().enclosing_high_order_zones(id).first() {
+                tao.pubsub_mut().subscribe(&zone.clone(), id, Predicate::NodeJoined);
+            }
+        }
+        let used: std::collections::HashSet<_> = live
+            .iter()
+            .map(|&id| tao.ecan().can().underlay(id))
+            .collect();
+        let fresh = tao
+            .topology()
+            .graph()
+            .nodes()
+            .find(|n| !used.contains(n))
+            .expect("spare routers exist");
+        let (_, notified) = tao.join_node(fresh);
+        assert!(
+            !notified.is_empty(),
+            "a join inside a populated zone must notify its subscribers"
+        );
+    }
+
+    #[test]
+    fn departure_reselects_dependents_away_from_the_dead_node() {
+        let mut tao = small_builder().build();
+        let victim = tao
+            .ecan()
+            .can()
+            .live_nodes()
+            .find(|&id| !tao.ecan().dependents_of(id).is_empty())
+            .expect("someone is a representative");
+        tao.depart(victim).unwrap();
+        for id in tao.ecan().can().live_nodes() {
+            assert!(
+                tao.ecan()
+                    .high_order_entries(id)
+                    .iter()
+                    .all(|e| e.representative != victim),
+                "{id} still references departed {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_moves_the_clock() {
+        let mut tao = small_builder().build();
+        let t0 = tao.now();
+        tao.advance(SimDuration::from_secs(5));
+        assert_eq!(tao.now() - t0, SimDuration::from_secs(5));
+    }
+}

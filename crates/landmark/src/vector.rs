@@ -1,0 +1,208 @@
+//! Landmark vectors: a node's RTTs to the landmark set.
+
+use std::fmt;
+
+use tao_sim::SimDuration;
+use tao_topology::{NodeIdx, RttOracle};
+
+/// A node's coordinates in the landmark space: its measured RTT to each
+/// landmark, in landmark order.
+///
+/// # Example
+///
+/// ```
+/// use tao_landmark::LandmarkVector;
+///
+/// let v = LandmarkVector::from_millis(&[30.0, 10.0, 20.0]);
+/// assert_eq!(v.len(), 3);
+/// // Landmark 1 is nearest, then 2, then 0.
+/// assert_eq!(v.ordering(), vec![1, 2, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LandmarkVector {
+    rtts: Vec<SimDuration>,
+}
+
+impl LandmarkVector {
+    /// Creates a vector from raw RTTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtts` is empty.
+    pub fn new(rtts: Vec<SimDuration>) -> Self {
+        assert!(!rtts.is_empty(), "a landmark vector needs at least one component");
+        LandmarkVector { rtts }
+    }
+
+    /// Convenience constructor from fractional milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is empty.
+    pub fn from_millis(millis: &[f64]) -> Self {
+        LandmarkVector::new(millis.iter().map(|&m| SimDuration::from_millis_f64(m)).collect())
+    }
+
+    /// Measures the vector for `node` against `landmarks`, charging one RTT
+    /// probe per landmark through `oracle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `landmarks` is empty.
+    pub fn measure(node: NodeIdx, landmarks: &[NodeIdx], oracle: &RttOracle) -> Self {
+        assert!(!landmarks.is_empty(), "need at least one landmark");
+        LandmarkVector::new(landmarks.iter().map(|&l| oracle.measure(node, l)).collect())
+    }
+
+    /// Number of components (landmarks).
+    pub fn len(&self) -> usize {
+        self.rtts.len()
+    }
+
+    /// `true` if the vector has no components (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.rtts.is_empty()
+    }
+
+    /// The RTT to landmark `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn rtt(&self, i: usize) -> SimDuration {
+        self.rtts[i]
+    }
+
+    /// All components in landmark order.
+    pub fn rtts(&self) -> &[SimDuration] {
+        &self.rtts
+    }
+
+    /// The *landmark ordering*: landmark indices sorted by increasing RTT.
+    ///
+    /// This is the coarse proximity signature used by Topologically-Aware
+    /// CAN — nodes with equal orderings are considered close.
+    pub fn ordering(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.rtts.len()).collect();
+        idx.sort_by_key(|&i| (self.rtts[i], i));
+        idx
+    }
+
+    /// Euclidean distance to `other` in the landmark space, in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn euclidean_ms(&self, other: &LandmarkVector) -> f64 {
+        assert_eq!(
+            self.rtts.len(),
+            other.rtts.len(),
+            "landmark vectors must have equal dimensionality"
+        );
+        self.rtts
+            .iter()
+            .zip(&other.rtts)
+            .map(|(a, b)| {
+                let d = a.as_millis_f64() - b.as_millis_f64();
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Projects the vector onto a subset of components — the paper's
+    /// *landmark vector index* optimisation (use only a few components to
+    /// compute the landmark number; keep the full vector for final ranking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or any index is out of range.
+    pub fn project(&self, components: &[usize]) -> LandmarkVector {
+        assert!(!components.is_empty(), "projection needs at least one component");
+        LandmarkVector::new(components.iter().map(|&c| self.rtts[c]).collect())
+    }
+
+    /// The first `k` components (a common landmark-vector-index choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the vector length.
+    pub fn prefix(&self, k: usize) -> LandmarkVector {
+        assert!(k > 0 && k <= self.rtts.len(), "prefix length out of range");
+        LandmarkVector::new(self.rtts[..k].to_vec())
+    }
+}
+
+impl fmt::Display for LandmarkVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, r) in self.rtts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_sorts_by_rtt_with_index_tiebreak() {
+        let v = LandmarkVector::from_millis(&[5.0, 5.0, 1.0]);
+        assert_eq!(v.ordering(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn euclidean_distance_matches_hand_computation() {
+        let a = LandmarkVector::from_millis(&[0.0, 3.0]);
+        let b = LandmarkVector::from_millis(&[4.0, 0.0]);
+        assert!((a.euclidean_ms(&b) - 5.0).abs() < 1e-9);
+        assert_eq!(a.euclidean_ms(&a), 0.0);
+    }
+
+    #[test]
+    fn projection_and_prefix_select_components() {
+        let v = LandmarkVector::from_millis(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.project(&[3, 0]).rtts()[0], SimDuration::from_millis(4));
+        assert_eq!(v.prefix(2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn distance_requires_equal_lengths() {
+        let a = LandmarkVector::from_millis(&[1.0]);
+        let b = LandmarkVector::from_millis(&[1.0, 2.0]);
+        let _ = a.euclidean_ms(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_vector_panics() {
+        let _ = LandmarkVector::new(Vec::new());
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let v = LandmarkVector::from_millis(&[1.5]);
+        assert_eq!(v.to_string(), "<1.500ms>");
+    }
+
+    #[test]
+    fn measure_charges_one_probe_per_landmark() {
+        use tao_topology::{generate_transit_stub, LatencyAssignment, TransitStubParams};
+        let topo = generate_transit_stub(
+            &TransitStubParams::tsk_small_mini(),
+            LatencyAssignment::manual(),
+            3,
+        );
+        let oracle = RttOracle::new(topo.graph().clone());
+        let landmarks = [NodeIdx(1), NodeIdx(2), NodeIdx(3)];
+        let v = LandmarkVector::measure(NodeIdx(0), &landmarks, &oracle);
+        assert_eq!(v.len(), 3);
+        assert_eq!(oracle.measurements(), 3);
+    }
+}

@@ -1,0 +1,896 @@
+//! The base CAN overlay: zone ownership, join/departure, neighbor tables,
+//! owner lookup, and greedy routing.
+//!
+//! Ownership is tracked in a binary *zone tree* mirroring the history of
+//! splits, which gives `O(depth)` owner lookup and range queries — the same
+//! information a real deployment reconstructs by routing, available here
+//! without simulating every control message. Neighbor tables are maintained
+//! incrementally on join/departure exactly as the CAN protocol would.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use tao_topology::NodeIdx;
+
+use crate::point::Point;
+use crate::zone::Zone;
+
+/// Identifies a node in an overlay. Dense per overlay; ids of departed
+/// nodes are *not* reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OverlayNodeId(pub u32);
+
+impl OverlayNodeId {
+    /// The id as a `usize`, for slice addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OverlayNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Errors from overlay operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The node id does not exist or has departed.
+    UnknownNode(OverlayNodeId),
+    /// The point's dimensionality does not match the overlay's.
+    DimensionMismatch {
+        /// The overlay's dimensionality.
+        expected: usize,
+        /// The point's dimensionality.
+        got: usize,
+    },
+    /// The last node cannot depart.
+    LastNode,
+    /// Greedy routing failed to make progress (should not happen on a
+    /// consistent overlay; surfaced rather than looping forever).
+    RoutingStuck {
+        /// Node at which progress stopped.
+        at: OverlayNodeId,
+    },
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::UnknownNode(id) => write!(f, "unknown or departed overlay node {id}"),
+            OverlayError::DimensionMismatch { expected, got } => {
+                write!(f, "expected a {expected}-d point, got {got}-d")
+            }
+            OverlayError::LastNode => write!(f, "the last node cannot depart"),
+            OverlayError::RoutingStuck { at } => {
+                write!(f, "greedy routing made no progress at {at}")
+            }
+        }
+    }
+}
+
+impl Error for OverlayError {}
+
+/// The result of routing a message: the nodes visited, in order, starting
+/// with the source and ending with the owner of the target point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Visited nodes, source first.
+    pub hops: Vec<OverlayNodeId>,
+}
+
+impl Route {
+    /// Number of overlay hops (edges traversed).
+    pub fn hop_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+/// Zone-tree node: either a leaf owned by an overlay node or an internal
+/// split.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf(OverlayNodeId),
+    Split {
+        axis: usize,
+        mid: f64,
+        lower: Box<TreeNode>,
+        upper: Box<TreeNode>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    underlay: NodeIdx,
+    /// Zones owned by this node. The first is the *primary* zone acquired at
+    /// join; later entries are zones taken over from departed neighbors.
+    zones: Vec<Zone>,
+    /// Depth of the primary zone in the split tree (splits from the root).
+    depth: u32,
+    neighbors: HashSet<OverlayNodeId>,
+    alive: bool,
+}
+
+impl NodeState {
+    fn primary(&self) -> &Zone {
+        &self.zones[0]
+    }
+
+    fn owns_point(&self, p: &Point) -> bool {
+        self.zones.iter().any(|z| z.contains(p))
+    }
+
+    fn distance_to_point(&self, p: &Point) -> f64 {
+        self.zones
+            .iter()
+            .map(|z| z.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A content-addressable network over `[0,1)^d`.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct CanOverlay {
+    dims: usize,
+    nodes: Vec<NodeState>,
+    tree: Option<TreeNode>,
+    live_count: usize,
+}
+
+impl CanOverlay {
+    /// Creates an empty overlay of dimensionality `dims`.
+    ///
+    /// Returns `None` if `dims` is zero.
+    pub fn new(dims: usize) -> Option<Self> {
+        if dims == 0 {
+            return None;
+        }
+        Some(CanOverlay {
+            dims,
+            nodes: Vec::new(),
+            tree: None,
+            live_count: 0,
+        })
+    }
+
+    /// Dimensionality of the Cartesian space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` if no node has joined (or all departed).
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Ids of all live nodes.
+    pub fn live_nodes(&self) -> impl Iterator<Item = OverlayNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| OverlayNodeId(i as u32))
+    }
+
+    /// The underlay router a live overlay node runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never assigned.
+    pub fn underlay(&self, id: OverlayNodeId) -> NodeIdx {
+        self.nodes[id.index()].underlay
+    }
+
+    /// The zone a live node owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    pub fn zone(&self, id: OverlayNodeId) -> Result<&Zone, OverlayError> {
+        let s = self
+            .nodes
+            .get(id.index())
+            .ok_or(OverlayError::UnknownNode(id))?;
+        if !s.alive {
+            return Err(OverlayError::UnknownNode(id));
+        }
+        Ok(s.primary())
+    }
+
+    /// All zones a live node owns: the primary zone first, then any zones
+    /// taken over from departed neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    pub fn zones(&self, id: OverlayNodeId) -> Result<&[Zone], OverlayError> {
+        self.zone(id)?;
+        Ok(&self.nodes[id.index()].zones)
+    }
+
+    /// Zone-tree depth of a live node's zone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    pub fn depth(&self, id: OverlayNodeId) -> Result<u32, OverlayError> {
+        self.zone(id)?;
+        Ok(self.nodes[id.index()].depth)
+    }
+
+    /// `true` if live node `id` owns `point` through any of its zones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    pub fn owns_point(&self, id: OverlayNodeId, point: &Point) -> Result<bool, OverlayError> {
+        self.zone(id)?;
+        Ok(self.nodes[id.index()].owns_point(point))
+    }
+
+    /// Minimum torus distance from any of `id`'s zones to `point` (0 when
+    /// the node owns the point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    pub fn distance_to_point(&self, id: OverlayNodeId, point: &Point) -> Result<f64, OverlayError> {
+        self.zone(id)?;
+        Ok(self.nodes[id.index()].distance_to_point(point))
+    }
+
+    /// The CAN neighbors of a live node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    pub fn neighbors(&self, id: OverlayNodeId) -> Result<Vec<OverlayNodeId>, OverlayError> {
+        self.zone(id)?;
+        let mut v: Vec<OverlayNodeId> = self.nodes[id.index()].neighbors.iter().copied().collect();
+        v.sort();
+        Ok(v)
+    }
+
+    /// The owner of `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is empty or the point has the wrong
+    /// dimensionality.
+    pub fn owner(&self, point: &Point) -> OverlayNodeId {
+        assert_eq!(point.dims(), self.dims, "dimensionality mismatch");
+        let mut node = self.tree.as_ref().expect("overlay is empty");
+        loop {
+            match node {
+                TreeNode::Leaf(id) => return *id,
+                TreeNode::Split { axis, mid, lower, upper } => {
+                    node = if point.coord(*axis) < *mid { lower } else { upper };
+                }
+            }
+        }
+    }
+
+    /// All live nodes whose zones intersect `query` (positive volume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn nodes_in(&self, query: &Zone) -> Vec<OverlayNodeId> {
+        assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
+        let mut out = Vec::new();
+        if let Some(root) = &self.tree {
+            let whole = Zone::whole(self.dims);
+            self.collect_in(root, &whole, query, &mut out);
+        }
+        out.sort();
+        out
+    }
+
+    /// Number of live nodes whose zones intersect `query`, without
+    /// materialising them — O(intersecting leaves).
+    pub fn count_in(&self, query: &Zone) -> usize {
+        self.nodes_in(query).len()
+    }
+
+    /// A uniformly-random-ish live member of `query` (weighted by zone
+    /// count, not volume), in O(depth) — usable where enumerating a huge
+    /// high-order zone would be wasteful. Returns `None` on an empty
+    /// overlay or when `query` intersects no zone (impossible for boxes of
+    /// positive volume, since zones tile the space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn sample_in(&self, query: &Zone, rng: &mut impl rand::Rng) -> Option<OverlayNodeId> {
+        assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
+        let root = self.tree.as_ref()?;
+        let whole = Zone::whole(self.dims);
+        Self::sample_node(root, &whole, query, rng)
+    }
+
+    fn sample_node(
+        node: &TreeNode,
+        bounds: &Zone,
+        query: &Zone,
+        rng: &mut impl rand::Rng,
+    ) -> Option<OverlayNodeId> {
+        if !bounds.intersects(query) {
+            return None;
+        }
+        match node {
+            TreeNode::Leaf(id) => Some(*id),
+            TreeNode::Split { axis, lower, upper, .. } => {
+                let (lz, uz) = bounds.split(*axis);
+                let lo_ok = lz.intersects(query);
+                let hi_ok = uz.intersects(query);
+                match (lo_ok, hi_ok) {
+                    (true, true) => {
+                        if rng.gen_bool(0.5) {
+                            Self::sample_node(lower, &lz, query, rng)
+                        } else {
+                            Self::sample_node(upper, &uz, query, rng)
+                        }
+                    }
+                    (true, false) => Self::sample_node(lower, &lz, query, rng),
+                    (false, true) => Self::sample_node(upper, &uz, query, rng),
+                    (false, false) => None,
+                }
+            }
+        }
+    }
+
+    fn collect_in(
+        &self,
+        node: &TreeNode,
+        bounds: &Zone,
+        query: &Zone,
+        out: &mut Vec<OverlayNodeId>,
+    ) {
+        if !bounds.intersects(query) {
+            return;
+        }
+        match node {
+            TreeNode::Leaf(id) => out.push(*id),
+            TreeNode::Split { axis, lower, upper, .. } => {
+                let (lz, uz) = bounds.split(*axis);
+                self.collect_in(lower, &lz, query, out);
+                self.collect_in(upper, &uz, query, out);
+            }
+        }
+    }
+
+    /// Joins a node running on underlay router `underlay` at `point`,
+    /// splitting the owner's zone. Returns the new node's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimensionality.
+    pub fn join(&mut self, underlay: NodeIdx, point: Point) -> OverlayNodeId {
+        assert_eq!(point.dims(), self.dims, "dimensionality mismatch");
+        let new_id = OverlayNodeId(self.nodes.len() as u32);
+        if self.tree.is_none() {
+            // Bootstrap node owns the whole space.
+            self.nodes.push(NodeState {
+                underlay,
+                zones: vec![Zone::whole(self.dims)],
+                depth: 0,
+                neighbors: HashSet::new(),
+                alive: true,
+            });
+            self.tree = Some(TreeNode::Leaf(new_id));
+            self.live_count = 1;
+            return new_id;
+        }
+
+        let owner = self.owner(&point);
+        // Split the specific zone that contains the join point (the owner
+        // may hold extra zones taken over from departed neighbors).
+        let zone_idx = self.nodes[owner.index()]
+            .zones
+            .iter()
+            .position(|z| z.contains(&point))
+            .expect("owner's zones cover the join point");
+        let owner_zone = self.nodes[owner.index()].zones[zone_idx].clone();
+        // CAN splits in half along the widest axis (ties -> lowest axis),
+        // which reproduces round-robin splitting on dyadic zones and stays
+        // well-defined for taken-over zones.
+        let axis = widest_axis(&owner_zone);
+        let (lower, upper) = owner_zone.split(axis);
+        // New node takes the half containing its join point.
+        let (new_zone, old_zone) = if lower.contains(&point) {
+            (lower, upper)
+        } else {
+            (upper, lower)
+        };
+
+        self.nodes.push(NodeState {
+            underlay,
+            zones: vec![new_zone.clone()],
+            depth: 0, // recomputed below from geometry
+            neighbors: HashSet::new(),
+            alive: true,
+        });
+        self.live_count += 1;
+
+        // Update the zone tree: replace the leaf at the join point with a
+        // split.
+        let mid = (owner_zone.lo(axis) + owner_zone.hi(axis)) / 2.0;
+        let (lower_id, upper_id) = if new_zone.lo(axis) > old_zone.lo(axis) {
+            (owner, new_id)
+        } else {
+            (new_id, owner)
+        };
+        Self::replace_leaf_at_point(
+            self.tree.as_mut().expect("tree is non-empty"),
+            &point,
+            TreeNode::Split {
+                axis,
+                mid,
+                lower: Box::new(TreeNode::Leaf(lower_id)),
+                upper: Box::new(TreeNode::Leaf(upper_id)),
+            },
+        );
+
+        // Update owner's zone and both depths.
+        self.nodes[owner.index()].zones[zone_idx] = old_zone;
+        self.nodes[owner.index()].depth = split_depth(self.nodes[owner.index()].primary());
+        self.nodes[new_id.index()].depth = split_depth(self.nodes[new_id.index()].primary());
+
+        // Rebuild neighbor sets of the two halves from the owner's previous
+        // neighborhood (plus each other).
+        let mut candidates: Vec<OverlayNodeId> = self.nodes[owner.index()]
+            .neighbors
+            .iter()
+            .copied()
+            .collect();
+        candidates.push(owner);
+        candidates.push(new_id);
+        // Drop all old links to `owner`; they are recomputed below.
+        for &c in &candidates {
+            self.nodes[c.index()].neighbors.remove(&owner);
+        }
+        self.nodes[owner.index()].neighbors.clear();
+        for &a in &[owner, new_id] {
+            for &c in &candidates {
+                if a == c {
+                    continue;
+                }
+                let adjacent = zones_adjacent(
+                    &self.nodes[a.index()].zones,
+                    &self.nodes[c.index()].zones,
+                );
+                if adjacent {
+                    self.nodes[a.index()].neighbors.insert(c);
+                    self.nodes[c.index()].neighbors.insert(a);
+                }
+            }
+        }
+        new_id
+    }
+
+    /// Replaces the leaf whose region contains `point` — O(depth).
+    fn replace_leaf_at_point(node: &mut TreeNode, point: &Point, replacement: TreeNode) {
+        match node {
+            TreeNode::Leaf(_) => *node = replacement,
+            TreeNode::Split { axis, mid, lower, upper } => {
+                if point.coord(*axis) < *mid {
+                    Self::replace_leaf_at_point(lower, point, replacement);
+                } else {
+                    Self::replace_leaf_at_point(upper, point, replacement);
+                }
+            }
+        }
+    }
+
+    /// Departs a node. Its zone is taken over by the smallest-volume CAN
+    /// neighbor (the departing node's state is retired; the taker's zone set
+    /// is represented by re-rooting the leaf to the taker).
+    ///
+    /// The taker may end up owning a non-box region; for simplicity and
+    /// faithfulness to zone accounting, the taker's `zone` field keeps its
+    /// original box while the zone tree records the extra leaf, so owner
+    /// lookup and routing stay exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed,
+    /// and [`OverlayError::LastNode`] if `id` is the only live node.
+    pub fn leave(&mut self, id: OverlayNodeId) -> Result<(), OverlayError> {
+        self.zone(id)?;
+        if self.live_count == 1 {
+            return Err(OverlayError::LastNode);
+        }
+        // Pick the smallest-volume neighbor as the taker.
+        let taker = self.nodes[id.index()]
+            .neighbors
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                let va: f64 = self.nodes[a.index()].zones.iter().map(Zone::volume).sum();
+                let vb: f64 = self.nodes[b.index()].zones.iter().map(Zone::volume).sum();
+                va.partial_cmp(&vb).unwrap().then(a.cmp(b))
+            })
+            .expect("a live non-last node has at least one neighbor");
+
+        // Re-point the departing node's leaf (or leaves, if it had taken
+        // over zones itself) at the taker.
+        if let Some(root) = self.tree.as_mut() {
+            Self::retarget_leaves(root, id, taker);
+        }
+
+        // The taker now owns all of the departing node's zones.
+        let departed_zones = std::mem::take(&mut self.nodes[id.index()].zones);
+        self.nodes[taker.index()].zones.extend(departed_zones);
+
+        // The taker inherits the departing node's neighbors.
+        let old_neighbors: Vec<OverlayNodeId> =
+            self.nodes[id.index()].neighbors.iter().copied().collect();
+        for n in &old_neighbors {
+            self.nodes[n.index()].neighbors.remove(&id);
+        }
+        for n in old_neighbors {
+            if n == taker {
+                continue;
+            }
+            // Conservative: the taker now owns the departed zone, so every
+            // neighbor of that zone becomes a neighbor of the taker.
+            self.nodes[taker.index()].neighbors.insert(n);
+            self.nodes[n.index()].neighbors.insert(taker);
+        }
+        self.nodes[id.index()].neighbors.clear();
+        self.nodes[id.index()].alive = false;
+        self.live_count -= 1;
+        Ok(())
+    }
+
+    fn retarget_leaves(node: &mut TreeNode, from: OverlayNodeId, to: OverlayNodeId) {
+        match node {
+            TreeNode::Leaf(id) => {
+                if *id == from {
+                    *id = to;
+                }
+            }
+            TreeNode::Split { lower, upper, .. } => {
+                Self::retarget_leaves(lower, from, to);
+                Self::retarget_leaves(upper, from, to);
+            }
+        }
+    }
+
+    /// Routes greedily from `source` toward the owner of `target` using only
+    /// default CAN neighbors: each hop forwards to the neighbor whose zone is
+    /// closest to the target point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] for a dead source,
+    /// [`OverlayError::DimensionMismatch`] for a bad target, and
+    /// [`OverlayError::RoutingStuck`] if greedy progress stalls.
+    pub fn route(&self, source: OverlayNodeId, target: &Point) -> Result<Route, OverlayError> {
+        if target.dims() != self.dims {
+            return Err(OverlayError::DimensionMismatch {
+                expected: self.dims,
+                got: target.dims(),
+            });
+        }
+        self.zone(source)?;
+        let mut hops = vec![source];
+        let mut current = source;
+        // Greedy with a visited set: strictly-decreasing progress can fail
+        // at zone corners, so permit sideways moves but never revisit.
+        let mut visited: HashSet<OverlayNodeId> = HashSet::new();
+        visited.insert(source);
+        let limit = 4 * self.nodes.len() + 16;
+        while !self.nodes[current.index()].owns_point(target) {
+            if hops.len() > limit {
+                return Err(OverlayError::RoutingStuck { at: current });
+            }
+            let next = self.nodes[current.index()]
+                .neighbors
+                .iter()
+                .copied()
+                .filter(|n| !visited.contains(n))
+                .min_by(|a, b| {
+                    let da = self.nodes[a.index()].distance_to_point(target);
+                    let db = self.nodes[b.index()].distance_to_point(target);
+                    da.partial_cmp(&db).unwrap().then(a.cmp(b))
+                })
+                .ok_or(OverlayError::RoutingStuck { at: current })?;
+            visited.insert(next);
+            hops.push(next);
+            current = next;
+        }
+        Ok(Route { hops })
+    }
+
+    /// Verifies structural invariants; used by tests and debug assertions.
+    ///
+    /// Checks that live zones tile the space (volumes sum to 1), that
+    /// neighbor sets are symmetric and match geometric adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn check_invariants(&self) {
+        if self.is_empty() {
+            return;
+        }
+        let total: f64 = self
+            .live_nodes()
+            .map(|id| self.nodes[id.index()].zones.iter().map(Zone::volume).sum::<f64>())
+            .sum();
+        // Volumes may *exceed* 1.0 only through takeover zones, which keep
+        // the original box in `zone`; in a churn-free overlay this is exact.
+        assert!(
+            total <= 1.0 + 1e-9,
+            "zone volumes exceed the space: {total}"
+        );
+        for a in self.live_nodes() {
+            for &b in &self.nodes[a.index()].neighbors {
+                assert!(
+                    self.nodes[b.index()].alive,
+                    "{a} links to departed node {b}"
+                );
+                assert!(
+                    self.nodes[b.index()].neighbors.contains(&a),
+                    "neighbor link {a}->{b} is not symmetric"
+                );
+            }
+        }
+    }
+}
+
+/// The axis along which `zone` is widest (ties break to the lowest axis) —
+/// the CAN split axis.
+fn widest_axis(zone: &Zone) -> usize {
+    (0..zone.dims())
+        .max_by(|&a, &b| {
+            zone.extent(a)
+                .partial_cmp(&zone.extent(b))
+                .expect("extents are finite")
+                .then(b.cmp(&a)) // prefer the lower axis on ties
+        })
+        .expect("zones have at least one axis")
+}
+
+/// Number of binary splits that produced `zone` from the whole space:
+/// the sum over axes of log2(1/extent).
+fn split_depth(zone: &Zone) -> u32 {
+    (0..zone.dims())
+        .map(|a| (-zone.extent(a).log2()).round() as u32)
+        .sum()
+}
+
+/// `true` if any zone of `a` is a CAN neighbor of any zone of `b`.
+fn zones_adjacent(a: &[Zone], b: &[Zone]) -> bool {
+    a.iter().any(|za| b.iter().any(|zb| za.is_neighbor(zb)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grown_overlay(n: usize, seed: u64) -> CanOverlay {
+        let mut can = CanOverlay::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            can.join(NodeIdx(i as u32), Point::random(2, &mut rng));
+        }
+        can
+    }
+
+    #[test]
+    fn bootstrap_owns_everything() {
+        let mut can = CanOverlay::new(2).unwrap();
+        let a = can.join(NodeIdx(0), Point::new(vec![0.3, 0.3]).unwrap());
+        assert_eq!(can.len(), 1);
+        assert_eq!(can.owner(&Point::new(vec![0.9, 0.9]).unwrap()), a);
+        assert_eq!(can.zone(a).unwrap(), &Zone::whole(2));
+    }
+
+    #[test]
+    fn join_splits_the_owners_zone() {
+        let mut can = CanOverlay::new(2).unwrap();
+        let a = can.join(NodeIdx(0), Point::new(vec![0.3, 0.3]).unwrap());
+        let b = can.join(NodeIdx(1), Point::new(vec![0.9, 0.9]).unwrap());
+        // First split is along axis 0; b's point is in the upper half.
+        assert_eq!(can.zone(b).unwrap().lo(0), 0.5);
+        assert_eq!(can.zone(a).unwrap().hi(0), 0.5);
+        assert_eq!(can.neighbors(a).unwrap(), vec![b]);
+        assert_eq!(can.neighbors(b).unwrap(), vec![a]);
+        can.check_invariants();
+    }
+
+    #[test]
+    fn zones_tile_the_space() {
+        let can = grown_overlay(64, 7);
+        let total: f64 = can
+            .live_nodes()
+            .map(|id| can.zone(id).unwrap().volume())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "zones must tile: {total}");
+        can.check_invariants();
+    }
+
+    #[test]
+    fn owner_lookup_agrees_with_zone_containment() {
+        let can = grown_overlay(50, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let p = Point::random(2, &mut rng);
+            let owner = can.owner(&p);
+            assert!(can.zone(owner).unwrap().contains(&p));
+        }
+    }
+
+    #[test]
+    fn neighbor_sets_match_geometry() {
+        let can = grown_overlay(40, 9);
+        let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+        for &a in &live {
+            for &b in &live {
+                if a == b {
+                    continue;
+                }
+                let geometric = can
+                    .zone(a)
+                    .unwrap()
+                    .is_neighbor(can.zone(b).unwrap());
+                let listed = can.neighbors(a).unwrap().contains(&b);
+                assert_eq!(
+                    geometric, listed,
+                    "adjacency mismatch between {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_the_owner() {
+        let can = grown_overlay(100, 5);
+        let mut rng = StdRng::seed_from_u64(13);
+        let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+        for _ in 0..100 {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(2, &mut rng);
+            let route = can.route(src, &target).unwrap();
+            assert_eq!(route.hops[0], src);
+            assert_eq!(*route.hops.last().unwrap(), can.owner(&target));
+        }
+    }
+
+    #[test]
+    fn routing_hops_scale_like_sqrt_n_in_2d() {
+        let can = grown_overlay(256, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+        let mut total = 0usize;
+        const ROUTES: usize = 200;
+        for _ in 0..ROUTES {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(2, &mut rng);
+            total += can.route(src, &target).unwrap().hop_count();
+        }
+        let avg = total as f64 / ROUTES as f64;
+        // Theory: (d/4) * n^(1/d) = 8 for n=256, d=2. Allow generous slack.
+        assert!(avg > 2.0 && avg < 20.0, "avg hops {avg} looks wrong");
+    }
+
+    #[test]
+    fn departure_hands_zone_to_a_neighbor() {
+        let mut can = grown_overlay(20, 21);
+        let victim = OverlayNodeId(7);
+        let victim_zone = can.zone(victim).unwrap().clone();
+        let probe = victim_zone.center();
+        can.leave(victim).unwrap();
+        assert_eq!(can.len(), 19);
+        let new_owner = can.owner(&probe);
+        assert_ne!(new_owner, victim);
+        assert!(can.zone(new_owner).is_ok());
+        assert!(can.zone(victim).is_err());
+        can.check_invariants();
+    }
+
+    #[test]
+    fn routing_still_works_after_churn() {
+        let mut can = grown_overlay(60, 17);
+        let mut rng = StdRng::seed_from_u64(3);
+        for id in [3u32, 14, 25, 36, 47] {
+            can.leave(OverlayNodeId(id)).unwrap();
+        }
+        let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+        for _ in 0..100 {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(2, &mut rng);
+            let route = can.route(src, &target).unwrap();
+            assert_eq!(*route.hops.last().unwrap(), can.owner(&target));
+        }
+    }
+
+    #[test]
+    fn last_node_cannot_leave() {
+        let mut can = CanOverlay::new(2).unwrap();
+        let a = can.join(NodeIdx(0), Point::new(vec![0.5, 0.5]).unwrap());
+        assert_eq!(can.leave(a), Err(OverlayError::LastNode));
+    }
+
+    #[test]
+    fn nodes_in_returns_intersecting_zones() {
+        let can = grown_overlay(32, 8);
+        let (left, _) = Zone::whole(2).split(0);
+        let inside = can.nodes_in(&left);
+        assert!(!inside.is_empty());
+        for id in inside {
+            assert!(can.zone(id).unwrap().intersects(&left));
+        }
+        // Whole space returns everyone.
+        assert_eq!(can.nodes_in(&Zone::whole(2)).len(), 32);
+    }
+
+    #[test]
+    fn sample_in_returns_members_of_the_query_box() {
+        let can = grown_overlay(64, 12);
+        let (left, _) = Zone::whole(2).split(0);
+        let members = can.nodes_in(&left);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            let s = can.sample_in(&left, &mut rng).expect("left half is populated");
+            assert!(members.contains(&s), "{s} is not a member of the box");
+        }
+        assert_eq!(can.count_in(&Zone::whole(2)), 64);
+    }
+
+    #[test]
+    fn sample_in_covers_more_than_one_member() {
+        let can = grown_overlay(64, 15);
+        let (left, _) = Zone::whole(2).split(0);
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(can.sample_in(&left, &mut rng).expect("populated"));
+        }
+        assert!(seen.len() > 3, "sampling should reach many members, got {}", seen.len());
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        assert_eq!(
+            OverlayError::UnknownNode(OverlayNodeId(5)).to_string(),
+            "unknown or departed overlay node o5"
+        );
+        assert!(OverlayError::DimensionMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("2-d"));
+    }
+
+    #[test]
+    fn higher_dimensional_overlays_work() {
+        for d in 3..=5 {
+            let mut can = CanOverlay::new(d).unwrap();
+            let mut rng = StdRng::seed_from_u64(d as u64);
+            for i in 0..32 {
+                can.join(NodeIdx(i), Point::random(d, &mut rng));
+            }
+            can.check_invariants();
+            let total: f64 = can
+                .live_nodes()
+                .map(|id| can.zone(id).unwrap().volume())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+            let route = can.route(live[0], &Point::random(d, &mut rng)).unwrap();
+            assert!(route.hop_count() < 32);
+        }
+    }
+}

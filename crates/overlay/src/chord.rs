@@ -1,0 +1,485 @@
+//! A Chord ring, with the finger-table flexibility the paper's technique
+//! needs.
+//!
+//! The paper's conclusion: "The techniques are generic for overlay networks
+//! such as Pastry, Chord, and eCAN, where there exists flexibility in
+//! selecting routing neighbors." In Chord that flexibility is the finger
+//! table: the `i`-th finger of node `n` may be *any* node in the interval
+//! `[n + 2^i, n + 2^(i+1))` without hurting the O(log N) bound — so the
+//! choice within the interval can be made by physical proximity. The
+//! appendix adds how the soft-state is keyed here: "use the landmark number
+//! as the key to store the information of a node on a node whose ID is
+//! equal to or greater than the landmark number" — i.e. the successor.
+//!
+//! # Example
+//!
+//! ```
+//! use tao_overlay::chord::{ChordOverlay, RandomFingerSelector};
+//! use tao_topology::NodeIdx;
+//!
+//! let mut ring = ChordOverlay::new();
+//! for i in 0..32u32 {
+//!     ring.join(NodeIdx(i), u64::from(i) * (u64::MAX / 32));
+//! }
+//! ring.build_fingers(&mut RandomFingerSelector::new(1));
+//! let start = ring.node_ids().next().unwrap();
+//! let route = ring.route(start, u64::MAX / 2).unwrap();
+//! assert!(route.hop_count() <= 6, "Chord routes in O(log N)");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tao_topology::{NodeIdx, RttOracle};
+
+/// A position on the Chord identifier ring (`u64`, wrapping).
+pub type RingId = u64;
+
+/// Errors from Chord operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChordError {
+    /// The ring has no nodes.
+    EmptyRing,
+    /// The named node is not on the ring.
+    UnknownNode(RingId),
+}
+
+impl fmt::Display for ChordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChordError::EmptyRing => write!(f, "the ring has no nodes"),
+            ChordError::UnknownNode(id) => write!(f, "no node with ring id {id:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ChordError {}
+
+/// One finger-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finger {
+    /// Exponent: this finger covers `[owner + 2^bit, owner + 2^(bit+1))`.
+    pub bit: u32,
+    /// The chosen node inside the interval.
+    pub target: RingId,
+}
+
+/// Chooses which member of a finger interval becomes the finger — Chord's
+/// *proximity neighbor selection* hook, mirroring
+/// [`NeighborSelector`](crate::ecan::NeighborSelector) for eCAN.
+pub trait FingerSelector {
+    /// Picks one of `candidates` (non-empty ring ids inside the interval)
+    /// as the finger of `owner`.
+    fn select(&mut self, owner: RingId, candidates: &[RingId], ring: &ChordOverlay) -> RingId;
+}
+
+/// Uniformly random interval member — the no-topology-awareness baseline.
+#[derive(Debug, Clone)]
+pub struct RandomFingerSelector {
+    rng: StdRng,
+}
+
+impl RandomFingerSelector {
+    /// Creates a selector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomFingerSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl FingerSelector for RandomFingerSelector {
+    fn select(&mut self, _owner: RingId, candidates: &[RingId], _ring: &ChordOverlay) -> RingId {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+/// The physically closest interval member via free ground truth — the
+/// optimal curve.
+#[derive(Debug, Clone)]
+pub struct ClosestFingerSelector {
+    oracle: RttOracle,
+}
+
+impl ClosestFingerSelector {
+    /// Creates the optimal selector over `oracle`'s topology.
+    pub fn new(oracle: RttOracle) -> Self {
+        ClosestFingerSelector { oracle }
+    }
+}
+
+impl FingerSelector for ClosestFingerSelector {
+    fn select(&mut self, owner: RingId, candidates: &[RingId], ring: &ChordOverlay) -> RingId {
+        let me = ring.underlay(owner).expect("owner is on the ring");
+        *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = self
+                    .oracle
+                    .ground_truth(me, ring.underlay(a).expect("candidate on ring"));
+                let db = self
+                    .oracle
+                    .ground_truth(me, ring.underlay(b).expect("candidate on ring"));
+                da.cmp(&db).then(a.cmp(&b))
+            })
+            .expect("candidates are non-empty")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    underlay: NodeIdx,
+    fingers: Vec<Finger>,
+}
+
+/// The result of routing a key lookup: ring ids visited, origin first,
+/// the key's successor last.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChordRoute {
+    /// Visited nodes in order.
+    pub hops: Vec<RingId>,
+}
+
+impl ChordRoute {
+    /// Number of ring hops traversed.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+/// A Chord identifier ring with per-node finger tables.
+#[derive(Debug, Clone, Default)]
+pub struct ChordOverlay {
+    nodes: BTreeMap<RingId, NodeState>,
+}
+
+impl ChordOverlay {
+    /// Creates an empty ring.
+    pub fn new() -> Self {
+        ChordOverlay::default()
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ring ids of all nodes, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = RingId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// The underlay router of node `id`.
+    pub fn underlay(&self, id: RingId) -> Option<NodeIdx> {
+        self.nodes.get(&id).map(|s| s.underlay)
+    }
+
+    /// Adds a node with the given ring id. Fingers are not built until
+    /// [`ChordOverlay::build_fingers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already taken (callers draw ids from a seeded
+    /// RNG; a collision on a 64-bit ring is a bug, not an input condition).
+    pub fn join(&mut self, underlay: NodeIdx, id: RingId) {
+        let prev = self.nodes.insert(
+            id,
+            NodeState {
+                underlay,
+                fingers: Vec::new(),
+            },
+        );
+        assert!(prev.is_none(), "ring id {id:#x} joined twice");
+    }
+
+    /// Removes a node from the ring; its keys fall to its successor by
+    /// construction of [`ChordOverlay::successor`]. Fingers referencing it
+    /// must be re-selected ([`ChordOverlay::build_fingers`] or per-node
+    /// [`ChordOverlay::rebuild_fingers_of`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChordError::UnknownNode`] if `id` is not on the ring.
+    pub fn leave(&mut self, id: RingId) -> Result<(), ChordError> {
+        self.nodes
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ChordError::UnknownNode(id))
+    }
+
+    /// The node responsible for `key`: the first node at or after it on the
+    /// ring (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChordError::EmptyRing`] on an empty ring.
+    pub fn successor(&self, key: RingId) -> Result<RingId, ChordError> {
+        if let Some((&id, _)) = self.nodes.range(key..).next() {
+            return Ok(id);
+        }
+        self.nodes
+            .keys()
+            .next()
+            .copied()
+            .ok_or(ChordError::EmptyRing)
+    }
+
+    /// All nodes whose ids lie in the wrapping interval `[from, to)`.
+    pub fn members_in(&self, from: RingId, to: RingId) -> Vec<RingId> {
+        if from <= to {
+            self.nodes.range(from..to).map(|(&id, _)| id).collect()
+        } else {
+            // Wraps past zero.
+            self.nodes
+                .range(from..)
+                .chain(self.nodes.range(..to))
+                .map(|(&id, _)| id)
+                .collect()
+        }
+    }
+
+    /// (Re)builds every node's finger table, choosing interval members
+    /// through `selector`.
+    pub fn build_fingers(&mut self, selector: &mut dyn FingerSelector) {
+        let ids: Vec<RingId> = self.node_ids().collect();
+        for id in ids {
+            self.rebuild_fingers_of(id, selector);
+        }
+    }
+
+    /// Rebuilds one node's finger table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not on the ring.
+    pub fn rebuild_fingers_of(&mut self, id: RingId, selector: &mut dyn FingerSelector) {
+        assert!(self.nodes.contains_key(&id), "node {id:#x} not on the ring");
+        let mut fingers = Vec::new();
+        for bit in 0..64u32 {
+            let lo = id.wrapping_add(1u64 << bit);
+            let hi = id.wrapping_add(if bit == 63 { 0 } else { 1u64 << (bit + 1) });
+            let mut candidates = self.members_in(lo, hi);
+            candidates.retain(|&c| c != id);
+            if candidates.is_empty() {
+                continue;
+            }
+            let target = selector.select(id, &candidates, self);
+            fingers.push(Finger { bit, target });
+        }
+        self.nodes
+            .get_mut(&id)
+            .expect("checked above")
+            .fingers = fingers;
+    }
+
+    /// The finger table of `id` (empty until built).
+    pub fn fingers(&self, id: RingId) -> &[Finger] {
+        self.nodes
+            .get(&id)
+            .map(|s| s.fingers.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Clockwise distance from `a` to `b` on the ring.
+    fn clockwise(a: RingId, b: RingId) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    /// Routes a lookup for `key` from node `start` using fingers: each hop
+    /// forwards to the table entry that gets clockwise-closest to the key
+    /// without overshooting — classic closest-preceding-finger routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChordError::UnknownNode`] if `start` is not on the ring or
+    /// [`ChordError::EmptyRing`] on an empty ring.
+    pub fn route(&self, start: RingId, key: RingId) -> Result<ChordRoute, ChordError> {
+        if !self.nodes.contains_key(&start) {
+            return Err(ChordError::UnknownNode(start));
+        }
+        let home = self.successor(key)?;
+        let mut hops = vec![start];
+        let mut current = start;
+        while current != home {
+            let remaining = Self::clockwise(current, key);
+            // Best finger that does not overshoot the key.
+            let next = self
+                .fingers(current)
+                .iter()
+                .map(|f| f.target)
+                .filter(|&t| Self::clockwise(current, t) <= remaining.max(1))
+                .max_by_key(|&t| Self::clockwise(current, t));
+            let next = match next {
+                Some(n) if n != current => n,
+                // No useful finger: fall to the immediate successor.
+                _ => self.successor(current.wrapping_add(1))?,
+            };
+            hops.push(next);
+            current = next;
+            if hops.len() > 2 * self.nodes.len() + 8 {
+                // Defensive: cannot loop on a consistent ring.
+                unreachable!("chord routing exceeded the hop bound");
+            }
+        }
+        Ok(ChordRoute { hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(n: u32, seed: u64) -> ChordOverlay {
+        let mut ring = ChordOverlay::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            ring.join(NodeIdx(i), rng.gen());
+        }
+        ring.build_fingers(&mut RandomFingerSelector::new(seed ^ 1));
+        ring
+    }
+
+    #[test]
+    fn successor_wraps_around_the_ring() {
+        let mut ring = ChordOverlay::new();
+        ring.join(NodeIdx(0), 100);
+        ring.join(NodeIdx(1), 200);
+        assert_eq!(ring.successor(150).unwrap(), 200);
+        assert_eq!(ring.successor(201).unwrap(), 100, "wraps past the top");
+        assert_eq!(ring.successor(100).unwrap(), 100, "inclusive at the node");
+    }
+
+    #[test]
+    fn members_in_handles_wrapping_intervals() {
+        let mut ring = ChordOverlay::new();
+        for id in [10u64, 20, u64::MAX - 10] {
+            ring.join(NodeIdx(0), id);
+        }
+        assert_eq!(ring.members_in(15, 25), vec![20]);
+        let wrapped = ring.members_in(u64::MAX - 20, 15);
+        assert_eq!(wrapped, vec![u64::MAX - 10, 10]);
+    }
+
+    #[test]
+    fn routing_reaches_the_keys_successor() {
+        let ring = ring_of(128, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ids: Vec<RingId> = ring.node_ids().collect();
+        for _ in 0..200 {
+            let start = ids[rng.gen_range(0..ids.len())];
+            let key: RingId = rng.gen();
+            let route = ring.route(start, key).unwrap();
+            assert_eq!(*route.hops.last().unwrap(), ring.successor(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic() {
+        let ring = ring_of(1024, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let ids: Vec<RingId> = ring.node_ids().collect();
+        let mut total = 0usize;
+        const ROUTES: usize = 200;
+        for _ in 0..ROUTES {
+            let start = ids[rng.gen_range(0..ids.len())];
+            total += ring.route(start, rng.gen()).unwrap().hop_count();
+        }
+        let avg = total as f64 / ROUTES as f64;
+        // Theory: ~0.5 log2(1024) = 5.
+        assert!(avg < 9.0, "chord average hops {avg} is not logarithmic");
+    }
+
+    #[test]
+    fn fingers_live_inside_their_intervals() {
+        let ring = ring_of(64, 9);
+        for id in ring.node_ids() {
+            for f in ring.fingers(id) {
+                let lo = id.wrapping_add(1u64 << f.bit);
+                let hi = id.wrapping_add(if f.bit == 63 { 0 } else { 1u64 << (f.bit + 1) });
+                let members = ring.members_in(lo, hi);
+                assert!(
+                    members.contains(&f.target),
+                    "finger bit {} of {id:#x} escaped its interval",
+                    f.bit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closest_selector_minimises_candidate_distance() {
+        use tao_topology::{
+            generate_transit_stub, LatencyAssignment, TransitStubParams,
+        };
+        let topo = generate_transit_stub(
+            &TransitStubParams::tsk_small_mini(),
+            LatencyAssignment::manual(),
+            3,
+        );
+        let oracle = RttOracle::new(topo.graph().clone());
+        let mut ring = ChordOverlay::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..128u32 {
+            ring.join(NodeIdx(i * 7), rng.gen());
+        }
+        ring.build_fingers(&mut ClosestFingerSelector::new(oracle.clone()));
+        for id in ring.node_ids() {
+            let me = ring.underlay(id).unwrap();
+            for f in ring.fingers(id) {
+                let lo = id.wrapping_add(1u64 << f.bit);
+                let hi = id.wrapping_add(if f.bit == 63 { 0 } else { 1u64 << (f.bit + 1) });
+                let chosen = oracle.ground_truth(me, ring.underlay(f.target).unwrap());
+                for m in ring.members_in(lo, hi) {
+                    if m == id {
+                        continue;
+                    }
+                    assert!(chosen <= oracle.ground_truth(me, ring.underlay(m).unwrap()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn departures_shift_responsibility_to_successors() {
+        let mut ring = ring_of(32, 11);
+        let victim = ring.node_ids().nth(5).unwrap();
+        let key = victim.wrapping_sub(1);
+        assert_eq!(ring.successor(key).unwrap(), victim);
+        ring.leave(victim).unwrap();
+        let heir = ring.successor(key).unwrap();
+        assert_ne!(heir, victim);
+        assert!(ring.leave(victim).is_err());
+        // Re-selection drops stale fingers.
+        ring.build_fingers(&mut RandomFingerSelector::new(12));
+        for id in ring.node_ids() {
+            assert!(ring.fingers(id).iter().all(|f| f.target != victim));
+        }
+    }
+
+    #[test]
+    fn empty_ring_errors() {
+        let ring = ChordOverlay::new();
+        assert_eq!(ring.successor(5), Err(ChordError::EmptyRing));
+        assert!(ring.is_empty());
+        assert_eq!(
+            ChordError::UnknownNode(7).to_string(),
+            "no node with ring id 0x7"
+        );
+    }
+
+    #[test]
+    fn route_from_unknown_node_errors() {
+        let ring = ring_of(8, 13);
+        assert!(matches!(
+            ring.route(1, 2),
+            Err(ChordError::UnknownNode(1))
+        ));
+    }
+}

@@ -1,0 +1,633 @@
+//! eCAN: CAN augmented with "expressway" routing tables of larger span.
+//!
+//! From the paper (§3.2): every `2^d` CAN zones form an order-2 zone and
+//! every `2^d` order-`i` zones form an order-`(i+1)` zone. A node, besides
+//! its default CAN neighbors, keeps one *representative* node in each
+//! neighboring high-order zone at every order. Which member becomes the
+//! representative is the *flexibility* the paper exploits: the
+//! [`NeighborSelector`] hook is exactly where proximity-neighbor selection
+//! (random baseline, global-soft-state lookup, or the ground-truth optimum)
+//! plugs in.
+//!
+//! # Example
+//!
+//! ```
+//! use tao_overlay::ecan::{EcanOverlay, RandomSelector};
+//! use tao_overlay::{CanOverlay, Point};
+//! use tao_topology::NodeIdx;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut can = CanOverlay::new(2).unwrap();
+//! for i in 0..64 {
+//!     can.join(NodeIdx(i), Point::random(2, &mut rng));
+//! }
+//! let ecan = EcanOverlay::build(can, &mut RandomSelector::new(1));
+//! let live: Vec<_> = ecan.can().live_nodes().collect();
+//! let route = ecan.route_express(live[0], &Point::random(2, &mut rng)).unwrap();
+//! // Expressways shorten routes versus plain greedy CAN on average.
+//! assert!(route.hop_count() <= 64);
+//! ```
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tao_topology::RttOracle;
+
+use crate::can::{CanOverlay, OverlayError, OverlayNodeId, Route};
+use crate::point::Point;
+use crate::zone::Zone;
+
+/// One expressway routing-table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighOrderEntry {
+    /// The order of the zone this entry spans (2 = smallest high-order).
+    pub order: u32,
+    /// The neighboring high-order zone the entry points into.
+    pub target_box: Zone,
+    /// The member of `target_box` chosen as representative.
+    pub representative: OverlayNodeId,
+}
+
+/// Chooses the representative member of a neighboring high-order zone.
+///
+/// The paper's three regimes map to three implementations:
+/// [`RandomSelector`] (baseline), the global-soft-state selector built in
+/// `tao-core` (the contribution), and [`ClosestSelector`] (the unattainable
+/// optimum, via free ground-truth distances).
+pub trait NeighborSelector {
+    /// Picks one of `candidates` (non-empty, all live members of
+    /// `target_box`) as the representative for `for_node`.
+    fn select(
+        &mut self,
+        for_node: OverlayNodeId,
+        target_box: &Zone,
+        candidates: &[OverlayNodeId],
+        can: &CanOverlay,
+    ) -> OverlayNodeId;
+}
+
+/// Picks a uniformly random candidate — the paper's "random neighbor
+/// selection" baseline (no topology awareness).
+#[derive(Debug, Clone)]
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates a selector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl NeighborSelector for RandomSelector {
+    fn select(
+        &mut self,
+        _for_node: OverlayNodeId,
+        _target_box: &Zone,
+        candidates: &[OverlayNodeId],
+        _can: &CanOverlay,
+    ) -> OverlayNodeId {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+/// Picks the physically closest candidate using *free* ground-truth
+/// distances — the paper's "optimal" curve (infinite RTT measurements).
+#[derive(Debug, Clone)]
+pub struct ClosestSelector {
+    oracle: RttOracle,
+}
+
+impl ClosestSelector {
+    /// Creates the optimal selector over `oracle`'s topology.
+    pub fn new(oracle: RttOracle) -> Self {
+        ClosestSelector { oracle }
+    }
+}
+
+impl NeighborSelector for ClosestSelector {
+    fn select(
+        &mut self,
+        for_node: OverlayNodeId,
+        _target_box: &Zone,
+        candidates: &[OverlayNodeId],
+        can: &CanOverlay,
+    ) -> OverlayNodeId {
+        let me = can.underlay(for_node);
+        *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = self.oracle.ground_truth(me, can.underlay(a));
+                let db = self.oracle.ground_truth(me, can.underlay(b));
+                da.cmp(&db).then(a.cmp(&b))
+            })
+            .expect("candidates are non-empty")
+    }
+}
+
+/// A CAN overlay plus per-node expressway routing tables.
+#[derive(Debug, Clone)]
+pub struct EcanOverlay {
+    can: CanOverlay,
+    tables: HashMap<OverlayNodeId, Vec<HighOrderEntry>>,
+}
+
+impl EcanOverlay {
+    /// Builds expressway tables for every live node of `can`, choosing
+    /// representatives through `selector`.
+    pub fn build(can: CanOverlay, selector: &mut dyn NeighborSelector) -> Self {
+        let mut ecan = EcanOverlay {
+            can,
+            tables: HashMap::new(),
+        };
+        ecan.reselect(selector);
+        ecan
+    }
+
+    /// The underlying CAN.
+    pub fn can(&self) -> &CanOverlay {
+        &self.can
+    }
+
+    /// Consumes the eCAN, returning the underlying CAN.
+    pub fn into_can(self) -> CanOverlay {
+        self.can
+    }
+
+    /// The expressway entries of `id` (empty for shallow zones).
+    pub fn high_order_entries(&self, id: OverlayNodeId) -> &[HighOrderEntry] {
+        self.tables.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Recomputes every node's expressway table with a (possibly different)
+    /// selector — e.g. after pub/sub notifications triggered re-selection.
+    pub fn reselect(&mut self, selector: &mut dyn NeighborSelector) {
+        let live: Vec<OverlayNodeId> = self.can.live_nodes().collect();
+        self.tables.clear();
+        for id in live {
+            let entries = self.build_table(id, selector);
+            self.tables.insert(id, entries);
+        }
+    }
+
+    /// Recomputes the expressway table of a single node.
+    pub fn reselect_node(&mut self, id: OverlayNodeId, selector: &mut dyn NeighborSelector) {
+        let entries = self.build_table(id, selector);
+        self.tables.insert(id, entries);
+    }
+
+    /// Joins a new node at `point`, splitting the owner's zone, *without*
+    /// building its expressway table (the paper's modified join procedure
+    /// first publishes the newcomer's soft-state, then selects neighbors —
+    /// call [`EcanOverlay::reselect_node`] afterwards).
+    ///
+    /// The split also invalidates the former owner's table, which is
+    /// rebuilt lazily on its next re-selection; routing stays correct in
+    /// the interim because tables only ever *shorten* routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimensionality.
+    pub fn join_unselected(
+        &mut self,
+        underlay: tao_topology::NodeIdx,
+        point: Point,
+    ) -> OverlayNodeId {
+        let id = self.can.join(underlay, point);
+        // Drop tables whose entries might now point at a stale zone view:
+        // only the former owner's zone changed shape, and representatives
+        // remain live members, so existing tables stay usable as-is.
+        self.tables.insert(id, Vec::new());
+        id
+    }
+
+    /// Departs a node from the underlying CAN, dropping its table. Other
+    /// nodes' tables may still name the departed node; re-select them (the
+    /// maintenance machinery's job) or rely on routing's liveness filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OverlayError`] from [`CanOverlay::leave`].
+    pub fn depart(&mut self, id: OverlayNodeId) -> Result<(), OverlayError> {
+        self.can.leave(id)?;
+        self.tables.remove(&id);
+        Ok(())
+    }
+
+    /// Ids of live nodes whose expressway tables reference `id` — the
+    /// subscribers that need re-selection when `id` departs.
+    pub fn dependents_of(&self, id: OverlayNodeId) -> Vec<OverlayNodeId> {
+        let mut out: Vec<OverlayNodeId> = self
+            .tables
+            .iter()
+            .filter(|(owner, entries)| {
+                **owner != id && entries.iter().any(|e| e.representative == id)
+            })
+            .map(|(owner, _)| *owner)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The high-order zones enclosing `id`'s CAN zone, order 2 upward
+    /// (largest order last, just below the whole space).
+    pub fn enclosing_high_order_zones(&self, id: OverlayNodeId) -> Vec<Zone> {
+        let Ok(zone) = self.can.zone(id) else {
+            return Vec::new();
+        };
+        let base_level = aligned_level(zone);
+        // Order-2 zone first (level base_level - 1), whole space excluded.
+        (1..base_level)
+            .rev()
+            .map(|level| zone.enclosing_aligned_box(level))
+            .collect()
+    }
+
+    fn build_table(
+        &self,
+        id: OverlayNodeId,
+        selector: &mut dyn NeighborSelector,
+    ) -> Vec<HighOrderEntry> {
+        let mut entries = Vec::new();
+        let Ok(zone) = self.can.zone(id) else {
+            return entries;
+        };
+        let zone = zone.clone();
+        let dims = self.can.dims();
+        let base_level = aligned_level(&zone);
+        // Order-1 is the node's aligned box at base_level; order-i is the
+        // aligned box at base_level - (i - 1). Entries exist for orders 2..;
+        // the box at level 0 is the whole space and has no neighbors.
+        let mut order = 2;
+        let mut level = base_level.saturating_sub(1);
+        while level >= 1 {
+            let my_box = zone.enclosing_aligned_box(level);
+            let side = 0.5f64.powi(level as i32);
+            for axis in 0..dims {
+                for dir in [-1.0f64, 1.0] {
+                    let target_box = shifted_box(&my_box, axis, dir * side);
+                    if target_box == my_box {
+                        continue; // wrapped onto itself (level-1 axis)
+                    }
+                    // Skip duplicates (± directions can wrap to the same box).
+                    if entries
+                        .iter()
+                        .any(|e: &HighOrderEntry| e.order == order && e.target_box == target_box)
+                    {
+                        continue;
+                    }
+                    let mut candidates = self.can.nodes_in(&target_box);
+                    candidates.retain(|&c| c != id);
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let representative =
+                        selector.select(id, &target_box, &candidates, &self.can);
+                    entries.push(HighOrderEntry {
+                        order,
+                        target_box,
+                        representative,
+                    });
+                }
+            }
+            if level == 1 {
+                break;
+            }
+            level -= 1;
+            order += 1;
+        }
+        entries
+    }
+
+    /// Routes from `source` to the owner of `target` using both default CAN
+    /// neighbors and expressway entries, greedily minimising the distance
+    /// from the next hop's zone to the target.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CanOverlay::route`].
+    pub fn route_express(
+        &self,
+        source: OverlayNodeId,
+        target: &Point,
+    ) -> Result<Route, OverlayError> {
+        if target.dims() != self.can.dims() {
+            return Err(OverlayError::DimensionMismatch {
+                expected: self.can.dims(),
+                got: target.dims(),
+            });
+        }
+        self.can.zone(source)?;
+        let mut hops = vec![source];
+        let mut current = source;
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(source);
+        let limit = 4 * self.can.len() + 16;
+        while !self.can.owns_point(current, target)? {
+            if hops.len() > limit {
+                return Err(OverlayError::RoutingStuck { at: current });
+            }
+            let defaults = self.can.neighbors(current)?;
+            let express = self
+                .high_order_entries(current)
+                .iter()
+                .map(|e| e.representative);
+            let next = defaults
+                .into_iter()
+                .chain(express)
+                .filter(|n| !visited.contains(n) && self.can.zone(*n).is_ok())
+                .min_by(|a, b| {
+                    let da = self
+                        .can
+                        .distance_to_point(*a, target)
+                        .expect("filtered to live nodes");
+                    let db = self
+                        .can
+                        .distance_to_point(*b, target)
+                        .expect("filtered to live nodes");
+                    da.partial_cmp(&db).unwrap().then(a.cmp(b))
+                });
+            let Some(next) = next else {
+                // Expressway jumps can strand greedy in a pocket where every
+                // neighbor was already tried. Default CAN routing from here
+                // is loop-free on its own visited set; splice it in.
+                let tail = self.can.route(current, target)?;
+                hops.extend(tail.hops.into_iter().skip(1));
+                return Ok(Route { hops });
+            };
+            visited.insert(next);
+            hops.push(next);
+            current = next;
+        }
+        Ok(Route { hops })
+    }
+}
+
+/// The finest aligned-grid level that still contains `zone`: the number of
+/// complete halving rounds across all axes, i.e. `min_axis log2(1/extent)`.
+fn aligned_level(zone: &Zone) -> u32 {
+    (0..zone.dims())
+        .map(|a| (-zone.extent(a).log2()).floor() as u32)
+        .min()
+        .expect("zones have at least one axis")
+}
+
+/// Shifts an aligned box by `delta` along `axis`, wrapping on the torus.
+fn shifted_box(b: &Zone, axis: usize, delta: f64) -> Zone {
+    let mut lo: Vec<f64> = (0..b.dims()).map(|a| b.lo(a)).collect();
+    let mut hi: Vec<f64> = (0..b.dims()).map(|a| b.hi(a)).collect();
+    let side = hi[axis] - lo[axis];
+    let mut new_lo = lo[axis] + delta;
+    // Wrap into [0, 1).
+    if new_lo < 0.0 {
+        new_lo += 1.0;
+    }
+    if new_lo >= 1.0 {
+        new_lo -= 1.0;
+    }
+    // Guard against accumulated error on exact dyadic arithmetic.
+    debug_assert!((0.0..1.0).contains(&new_lo));
+    lo[axis] = new_lo;
+    hi[axis] = new_lo + side;
+    Zone::from_bounds(lo, hi).expect("shifted aligned box is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_topology::NodeIdx;
+
+    fn grown_can(n: u32, dims: usize, seed: u64) -> CanOverlay {
+        let mut can = CanOverlay::new(dims).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            can.join(NodeIdx(i), Point::random(dims, &mut rng));
+        }
+        can
+    }
+
+    #[test]
+    fn shifted_box_wraps_on_the_torus() {
+        let whole = Zone::whole(2);
+        let (left, right) = whole.split(0);
+        let shifted = shifted_box(&left, 0, 0.5);
+        assert_eq!(shifted, right);
+        let wrapped = shifted_box(&left, 0, -0.5);
+        assert_eq!(wrapped, right);
+    }
+
+    #[test]
+    fn tables_point_into_the_advertised_box() {
+        let can = grown_can(128, 2, 3);
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(9));
+        let mut total_entries = 0;
+        for id in ecan.can().live_nodes() {
+            for e in ecan.high_order_entries(id) {
+                total_entries += 1;
+                let rep_zone = ecan.can().zone(e.representative).unwrap();
+                assert!(
+                    rep_zone.intersects(&e.target_box),
+                    "representative {} lies outside its box",
+                    e.representative
+                );
+                assert!(e.order >= 2);
+            }
+        }
+        assert!(total_entries > 0, "a 128-node eCAN must have expressways");
+    }
+
+    #[test]
+    fn deep_nodes_have_multiple_orders() {
+        let can = grown_can(256, 2, 5);
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(1));
+        let max_order = ecan
+            .can()
+            .live_nodes()
+            .flat_map(|id| ecan.high_order_entries(id))
+            .map(|e| e.order)
+            .max()
+            .unwrap();
+        assert!(max_order >= 3, "256 nodes should yield order >= 3, got {max_order}");
+    }
+
+    #[test]
+    fn express_routing_reaches_the_owner() {
+        let can = grown_can(200, 2, 7);
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(2));
+        let mut rng = StdRng::seed_from_u64(8);
+        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+        for _ in 0..100 {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(2, &mut rng);
+            let route = ecan.route_express(src, &target).unwrap();
+            assert_eq!(*route.hops.last().unwrap(), ecan.can().owner(&target));
+        }
+    }
+
+    #[test]
+    fn expressways_shorten_routes_on_average() {
+        let can = grown_can(512, 2, 11);
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(3));
+        let mut rng = StdRng::seed_from_u64(1);
+        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+        let mut plain = 0usize;
+        let mut express = 0usize;
+        for _ in 0..150 {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(2, &mut rng);
+            plain += ecan.can().route(src, &target).unwrap().hop_count();
+            express += ecan.route_express(src, &target).unwrap().hop_count();
+        }
+        assert!(
+            (express as f64) < 0.7 * plain as f64,
+            "expressways should cut hops: plain={plain}, express={express}"
+        );
+    }
+
+    #[test]
+    fn closest_selector_picks_the_nearest_candidate() {
+        use tao_topology::{generate_transit_stub, LatencyAssignment, TransitStubParams};
+        let topo = generate_transit_stub(
+            &TransitStubParams::tsk_small_mini(),
+            LatencyAssignment::manual(),
+            2,
+        );
+        let oracle = RttOracle::new(topo.graph().clone());
+        let mut can = CanOverlay::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for i in 0..64 {
+            can.join(NodeIdx(i * 3), Point::random(2, &mut rng));
+        }
+        let mut sel = ClosestSelector::new(oracle.clone());
+        let ecan = EcanOverlay::build(can, &mut sel);
+        for id in ecan.can().live_nodes() {
+            let me = ecan.can().underlay(id);
+            for e in ecan.high_order_entries(id) {
+                let mut members = ecan.can().nodes_in(&e.target_box);
+                members.retain(|&c| c != id);
+                let rep_d = oracle.ground_truth(me, ecan.can().underlay(e.representative));
+                for m in members {
+                    let md = oracle.ground_truth(me, ecan.can().underlay(m));
+                    assert!(rep_d <= md, "representative is not the closest member");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reselect_node_changes_only_that_node() {
+        let can = grown_can(64, 2, 13);
+        let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(5));
+        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+        let target = live[10];
+        let before_other: Vec<_> = ecan.high_order_entries(live[20]).to_vec();
+        ecan.reselect_node(target, &mut RandomSelector::new(999));
+        assert_eq!(ecan.high_order_entries(live[20]), before_other.as_slice());
+    }
+
+    #[test]
+    fn join_unselected_keeps_routing_correct() {
+        let can = grown_can(64, 2, 23);
+        let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(1));
+        let mut rng = StdRng::seed_from_u64(24);
+        let id = ecan.join_unselected(NodeIdx(9_000), Point::random(2, &mut rng));
+        assert!(ecan.high_order_entries(id).is_empty(), "no table until reselect");
+        ecan.reselect_node(id, &mut RandomSelector::new(2));
+        // Routing from and to the newcomer works.
+        let target = ecan.can().zone(id).unwrap().center();
+        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+        let route = ecan.route_express(live[0], &target).unwrap();
+        assert_eq!(*route.hops.last().unwrap(), ecan.can().owner(&target));
+    }
+
+    #[test]
+    fn depart_drops_table_and_dependents_are_found() {
+        let can = grown_can(128, 2, 29);
+        let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(3));
+        // Find a node referenced by someone's table.
+        let victim = ecan
+            .can()
+            .live_nodes()
+            .find(|&id| !ecan.dependents_of(id).is_empty())
+            .expect("somebody is a representative");
+        let deps = ecan.dependents_of(victim);
+        assert!(deps.iter().all(|d| *d != victim));
+        ecan.depart(victim).unwrap();
+        assert!(ecan.high_order_entries(victim).is_empty());
+        assert!(ecan.can().zone(victim).is_err());
+        // Dependents re-select and no longer reference the departed node.
+        for d in deps {
+            ecan.reselect_node(d, &mut RandomSelector::new(4));
+            assert!(ecan
+                .high_order_entries(d)
+                .iter()
+                .all(|e| e.representative != victim));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// For any overlay size and seed, express routing terminates at
+            /// the owner of the target point.
+            #[test]
+            fn express_routing_always_reaches_the_owner(
+                n in 4u32..96,
+                seed in any::<u64>(),
+                tx in 0.0f64..1.0,
+                ty in 0.0f64..1.0,
+            ) {
+                let can = grown_can(n, 2, seed);
+                let ecan = EcanOverlay::build(can, &mut RandomSelector::new(seed ^ 1));
+                let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+                let target = Point::clamped(vec![tx, ty]);
+                let route = ecan
+                    .route_express(live[(seed as usize) % live.len()], &target)
+                    .expect("routing succeeds on a consistent overlay");
+                prop_assert_eq!(
+                    *route.hops.last().expect("non-empty"),
+                    ecan.can().owner(&target)
+                );
+            }
+
+            /// High-order tables never reference the owner itself and every
+            /// representative is live.
+            #[test]
+            fn tables_are_well_formed(n in 8u32..80, seed in any::<u64>()) {
+                let can = grown_can(n, 2, seed);
+                let ecan = EcanOverlay::build(can, &mut RandomSelector::new(seed ^ 2));
+                for id in ecan.can().live_nodes() {
+                    for e in ecan.high_order_entries(id) {
+                        prop_assert_ne!(e.representative, id);
+                        prop_assert!(ecan.can().zone(e.representative).is_ok());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enclosing_zones_nest() {
+        let can = grown_can(128, 2, 19);
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(4));
+        for id in ecan.can().live_nodes() {
+            let zones = ecan.enclosing_high_order_zones(id);
+            let my_zone = ecan.can().zone(id).unwrap();
+            for w in zones.windows(2) {
+                assert!(w[1].contains_zone(&w[0]), "high-order zones must nest");
+            }
+            if let Some(smallest) = zones.first() {
+                assert!(smallest.contains_zone(my_zone));
+            }
+        }
+    }
+}

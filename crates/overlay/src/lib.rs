@@ -1,0 +1,53 @@
+//! # tao-overlay — CAN and eCAN structured overlays
+//!
+//! The paper evaluates its global-soft-state machinery on **eCAN**, a
+//! hierarchical variant of CAN that adds "expressway" routing tables of
+//! increasing span to reach logarithmic routing performance. This crate
+//! implements, from scratch:
+//!
+//! * [`Point`] / [`Zone`] — the d-dimensional Cartesian torus `[0,1)^d`,
+//!   zones as axis-aligned boxes produced by round-robin binary splits,
+//! * [`CanOverlay`] — the base content-addressable network: node join by
+//!   zone split, departure with merge/takeover, incremental neighbor
+//!   tables, owner lookup, and greedy routing,
+//! * [`ecan`] — high-order zones, expressway routing tables with pluggable
+//!   neighbor *selection* (the hook the paper's proximity-neighbor
+//!   selection plugs into), and expressway routing,
+//! * [`tacan`] — the Topologically-Aware CAN baseline (geographic layout by
+//!   landmark ordering), used to reproduce the paper's §1 claim about
+//!   space imbalance and neighbor blow-up.
+//!
+//! # Example
+//!
+//! ```
+//! use tao_overlay::{CanOverlay, Point};
+//! use tao_topology::NodeIdx;
+//!
+//! let mut can = CanOverlay::new(2).unwrap();
+//! let a = can.join(NodeIdx(0), Point::new(vec![0.1, 0.1]).unwrap());
+//! let b = can.join(NodeIdx(1), Point::new(vec![0.9, 0.9]).unwrap());
+//! let c = can.join(NodeIdx(2), Point::new(vec![0.9, 0.1]).unwrap());
+//!
+//! // Every point has exactly one owner, and routing reaches it.
+//! let target = Point::new(vec![0.85, 0.15]).unwrap();
+//! assert_eq!(can.owner(&target), c);
+//! let route = can.route(a, &target).unwrap();
+//! assert_eq!(*route.hops.last().unwrap(), c);
+//! # let _ = b;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod can;
+pub mod chord;
+pub mod dv;
+pub mod ecan;
+pub mod pastry;
+mod point;
+pub mod tacan;
+mod zone;
+
+pub use can::{CanOverlay, OverlayError, OverlayNodeId, Route};
+pub use point::Point;
+pub use zone::Zone;

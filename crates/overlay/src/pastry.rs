@@ -1,0 +1,601 @@
+//! A Pastry-style prefix-routing overlay.
+//!
+//! The paper frames Pastry as the canonical *proximity-neighbor-selection*
+//! overlay: "routing table entries are selected according to proximity
+//! metric among all nodes that satisfy the constraint of the logical
+//! overlay (e.g., in Pastry, the constraint is the nodeId prefix)". This
+//! module provides that substrate so the global-soft-state machinery can be
+//! demonstrated on it: 64-bit node ids routed digit by digit (base 16), a
+//! routing table whose `(row r, digit d)` entry may be *any* node sharing
+//! `r` digits with the owner and having `d` as its next digit — the
+//! selection hook — plus a small leaf set for the final hops.
+//!
+//! # Example
+//!
+//! ```
+//! use tao_overlay::pastry::{PastryOverlay, RandomEntrySelector};
+//! use tao_topology::NodeIdx;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut pastry = PastryOverlay::new(8);
+//! for i in 0..64u32 {
+//!     pastry.join(NodeIdx(i), rng.gen());
+//! }
+//! pastry.build_tables(&mut RandomEntrySelector::new(1));
+//! let start = pastry.node_ids().next().unwrap();
+//! let key: u64 = rng.gen();
+//! let route = pastry.route(start, key).unwrap();
+//! assert_eq!(*route.hops.last().unwrap(), pastry.root_of(key).unwrap());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tao_topology::{NodeIdx, RttOracle};
+
+/// A Pastry node identifier: 64 bits read as 16 hexadecimal digits, most
+/// significant first.
+pub type PastryId = u64;
+
+/// Number of digits in an id (base 16 over 64 bits).
+pub const DIGITS: u32 = 16;
+
+/// Bits per digit.
+pub const DIGIT_BITS: u32 = 4;
+
+/// The `position`-th digit of `id` (0 = most significant).
+///
+/// # Panics
+///
+/// Panics if `position >= DIGITS`.
+pub fn digit(id: PastryId, position: u32) -> u8 {
+    assert!(position < DIGITS, "digit position out of range");
+    ((id >> ((DIGITS - 1 - position) * DIGIT_BITS)) & 0xF) as u8
+}
+
+/// Length of the common digit prefix of `a` and `b` (0..=16).
+pub fn shared_prefix_len(a: PastryId, b: PastryId) -> u32 {
+    for p in 0..DIGITS {
+        if digit(a, p) != digit(b, p) {
+            return p;
+        }
+    }
+    DIGITS
+}
+
+/// Errors from Pastry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PastryError {
+    /// The overlay has no nodes.
+    Empty,
+    /// The named node is not present.
+    UnknownNode(PastryId),
+}
+
+impl fmt::Display for PastryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PastryError::Empty => write!(f, "the overlay has no nodes"),
+            PastryError::UnknownNode(id) => write!(f, "no node with id {id:#018x}"),
+        }
+    }
+}
+
+impl std::error::Error for PastryError {}
+
+/// Chooses which prefix-matching node fills a routing-table slot — Pastry's
+/// proximity-neighbor-selection hook.
+pub trait EntrySelector {
+    /// Picks one of `candidates` (non-empty, all satisfying the slot's
+    /// prefix constraint) as the entry for `owner`.
+    fn select(&mut self, owner: PastryId, candidates: &[PastryId], overlay: &PastryOverlay)
+        -> PastryId;
+}
+
+/// Uniformly random prefix-matching node — the baseline.
+#[derive(Debug, Clone)]
+pub struct RandomEntrySelector {
+    rng: StdRng,
+}
+
+impl RandomEntrySelector {
+    /// Creates a selector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomEntrySelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl EntrySelector for RandomEntrySelector {
+    fn select(
+        &mut self,
+        _owner: PastryId,
+        candidates: &[PastryId],
+        _overlay: &PastryOverlay,
+    ) -> PastryId {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+/// The physically closest prefix-matching node via free ground truth — the
+/// optimal curve.
+#[derive(Debug, Clone)]
+pub struct ClosestEntrySelector {
+    oracle: RttOracle,
+}
+
+impl ClosestEntrySelector {
+    /// Creates the optimal selector over `oracle`'s topology.
+    pub fn new(oracle: RttOracle) -> Self {
+        ClosestEntrySelector { oracle }
+    }
+}
+
+impl EntrySelector for ClosestEntrySelector {
+    fn select(
+        &mut self,
+        owner: PastryId,
+        candidates: &[PastryId],
+        overlay: &PastryOverlay,
+    ) -> PastryId {
+        let me = overlay.underlay(owner).expect("owner is present");
+        *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = self
+                    .oracle
+                    .ground_truth(me, overlay.underlay(a).expect("candidate present"));
+                let db = self
+                    .oracle
+                    .ground_truth(me, overlay.underlay(b).expect("candidate present"));
+                da.cmp(&db).then(a.cmp(&b))
+            })
+            .expect("candidates are non-empty")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    underlay: NodeIdx,
+    /// `table[row * 16 + digit]`: a node sharing `row` digits with the
+    /// owner whose next digit is `digit`, if any exists.
+    table: Vec<Option<PastryId>>,
+    /// Nearest ids on either side (leaf set), ascending.
+    leaves: Vec<PastryId>,
+}
+
+/// The result of routing: ids visited, origin first, the key's root last.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PastryRoute {
+    /// Visited nodes in order.
+    pub hops: Vec<PastryId>,
+}
+
+impl PastryRoute {
+    /// Number of hops traversed.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+/// A Pastry-style overlay: prefix routing tables plus leaf sets.
+#[derive(Debug, Clone)]
+pub struct PastryOverlay {
+    nodes: BTreeMap<PastryId, NodeState>,
+    leaf_set_half: usize,
+}
+
+impl PastryOverlay {
+    /// Creates an empty overlay with `leaf_set_half` leaves on each side
+    /// (Pastry's `L/2`; 8 is typical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_set_half` is zero.
+    pub fn new(leaf_set_half: usize) -> Self {
+        assert!(leaf_set_half > 0, "leaf set must be non-empty");
+        PastryOverlay {
+            nodes: BTreeMap::new(),
+            leaf_set_half,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes are present.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node ids, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = PastryId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// The underlay router of `id`.
+    pub fn underlay(&self, id: PastryId) -> Option<NodeIdx> {
+        self.nodes.get(&id).map(|s| s.underlay)
+    }
+
+    /// Adds a node. Tables are not built until
+    /// [`PastryOverlay::build_tables`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate id (ids come from a seeded RNG; collisions on
+    /// 64 bits indicate a bug).
+    pub fn join(&mut self, underlay: NodeIdx, id: PastryId) {
+        let prev = self.nodes.insert(
+            id,
+            NodeState {
+                underlay,
+                table: vec![None; (DIGITS as usize) * 16],
+                leaves: Vec::new(),
+            },
+        );
+        assert!(prev.is_none(), "pastry id {id:#x} joined twice");
+    }
+
+    /// Removes a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastryError::UnknownNode`] if absent.
+    pub fn leave(&mut self, id: PastryId) -> Result<(), PastryError> {
+        self.nodes
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(PastryError::UnknownNode(id))
+    }
+
+    /// The node numerically responsible for `key`: minimal ring distance
+    /// (|id - key| on the wrapping 64-bit ring), ties to the lower id —
+    /// Pastry's root definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastryError::Empty`] on an empty overlay.
+    pub fn root_of(&self, key: PastryId) -> Result<PastryId, PastryError> {
+        self.nodes
+            .keys()
+            .copied()
+            .min_by_key(|&id| (ring_distance(id, key), id))
+            .ok_or(PastryError::Empty)
+    }
+
+    /// All nodes sharing the first `prefix_len` digits with `pattern` and
+    /// (when `prefix_len < DIGITS`) having `next_digit` at that position.
+    pub fn members_of_slot(
+        &self,
+        pattern: PastryId,
+        prefix_len: u32,
+        next_digit: u8,
+    ) -> Vec<PastryId> {
+        // The slot describes ids in a contiguous range: prefix fixed,
+        // next digit fixed, remainder free.
+        let shift = (DIGITS - prefix_len) * DIGIT_BITS;
+        let base = if prefix_len == 0 {
+            0
+        } else {
+            (pattern >> shift) << shift
+        };
+        let d_shift = (DIGITS - 1 - prefix_len) * DIGIT_BITS;
+        let lo = base | ((next_digit as u64) << d_shift);
+        let hi = lo.wrapping_add(1u64 << d_shift);
+        if hi == 0 {
+            // Range reaches the top of the id space.
+            self.nodes.range(lo..).map(|(&id, _)| id).collect()
+        } else {
+            self.nodes.range(lo..hi).map(|(&id, _)| id).collect()
+        }
+    }
+
+    /// (Re)builds every node's routing table and leaf set, choosing each
+    /// slot's entry through `selector`.
+    pub fn build_tables(&mut self, selector: &mut dyn EntrySelector) {
+        let ids: Vec<PastryId> = self.node_ids().collect();
+        for id in ids {
+            self.rebuild_node(id, selector);
+        }
+    }
+
+    /// Rebuilds one node's table and leaf set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is absent.
+    pub fn rebuild_node(&mut self, id: PastryId, selector: &mut dyn EntrySelector) {
+        assert!(self.nodes.contains_key(&id), "node {id:#x} not present");
+        let mut table = vec![None; (DIGITS as usize) * 16];
+        for row in 0..DIGITS {
+            let own_digit = digit(id, row);
+            for d in 0..16u8 {
+                if d == own_digit {
+                    continue;
+                }
+                let mut candidates = self.members_of_slot(id, row, d);
+                candidates.retain(|&c| c != id);
+                if candidates.is_empty() {
+                    continue;
+                }
+                let entry = selector.select(id, &candidates, self);
+                table[(row as usize) * 16 + d as usize] = Some(entry);
+            }
+        }
+        let leaves = self.leaf_set_of(id);
+        let s = self.nodes.get_mut(&id).expect("checked above");
+        s.table = table;
+        s.leaves = leaves;
+    }
+
+    fn leaf_set_of(&self, id: PastryId) -> Vec<PastryId> {
+        let mut leaves = Vec::with_capacity(self.leaf_set_half * 2);
+        // Clockwise successors.
+        let mut it = self
+            .nodes
+            .range(id.wrapping_add(1)..)
+            .map(|(&i, _)| i)
+            .chain(self.nodes.range(..id).map(|(&i, _)| i));
+        for _ in 0..self.leaf_set_half {
+            match it.next() {
+                Some(n) if n != id => leaves.push(n),
+                _ => break,
+            }
+        }
+        // Counter-clockwise predecessors.
+        let mut it = self
+            .nodes
+            .range(..id)
+            .rev()
+            .map(|(&i, _)| i)
+            .chain(self.nodes.range(id.wrapping_add(1)..).rev().map(|(&i, _)| i));
+        for _ in 0..self.leaf_set_half {
+            match it.next() {
+                Some(n) if n != id && !leaves.contains(&n) => leaves.push(n),
+                _ => break,
+            }
+        }
+        leaves.sort_unstable();
+        leaves
+    }
+
+    /// The routing-table entry of `id` for `(row, digit)`, if filled.
+    pub fn table_entry(&self, id: PastryId, row: u32, d: u8) -> Option<PastryId> {
+        self.nodes
+            .get(&id)?
+            .table
+            .get((row as usize) * 16 + d as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// The leaf set of `id`.
+    pub fn leaves(&self, id: PastryId) -> &[PastryId] {
+        self.nodes
+            .get(&id)
+            .map(|s| s.leaves.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Prefix routing: at each hop, use the table entry matching one more
+    /// digit of the key; fall back to the numerically closest known node
+    /// (leaf set ∪ table) that improves on the current distance; terminate
+    /// at the key's root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastryError::UnknownNode`] for an absent start and
+    /// [`PastryError::Empty`] on an empty overlay.
+    pub fn route(&self, start: PastryId, key: PastryId) -> Result<PastryRoute, PastryError> {
+        if !self.nodes.contains_key(&start) {
+            return Err(PastryError::UnknownNode(start));
+        }
+        let root = self.root_of(key)?;
+        let mut hops = vec![start];
+        let mut current = start;
+        while current != root {
+            let p = shared_prefix_len(current, key);
+            let wanted = digit(key, p.min(DIGITS - 1));
+            let next = self
+                .table_entry(current, p, wanted)
+                .filter(|&n| self.nodes.contains_key(&n))
+                .or_else(|| {
+                    // Rare case: no table entry — take any known node
+                    // strictly closer to the key numerically.
+                    let here = ring_distance(current, key);
+                    self.leaves(current)
+                        .iter()
+                        .copied()
+                        .chain(
+                            self.nodes
+                                .get(&current)
+                                .expect("current is present")
+                                .table
+                                .iter()
+                                .flatten()
+                                .copied(),
+                        )
+                        .filter(|&n| self.nodes.contains_key(&n))
+                        .filter(|&n| ring_distance(n, key) < here)
+                        .min_by_key(|&n| (ring_distance(n, key), n))
+                });
+            let Some(next) = next else {
+                // No improvement available: current must be the root's
+                // neighborhood; step through the leaf set toward the root.
+                let step = self
+                    .leaves(current)
+                    .iter()
+                    .copied()
+                    .min_by_key(|&n| (ring_distance(n, key), n))
+                    .filter(|&n| ring_distance(n, key) < ring_distance(current, key));
+                match step {
+                    Some(n) => {
+                        hops.push(n);
+                        current = n;
+                        continue;
+                    }
+                    None => break, // numerically closest known node reached
+                }
+            };
+            hops.push(next);
+            current = next;
+            if hops.len() > 2 * self.nodes.len() + 8 {
+                unreachable!("pastry routing exceeded the hop bound");
+            }
+        }
+        Ok(PastryRoute { hops })
+    }
+}
+
+/// Minimal wrapping distance between two ids on the 64-bit ring.
+fn ring_distance(a: PastryId, b: PastryId) -> u64 {
+    let d = a.wrapping_sub(b);
+    d.min(b.wrapping_sub(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overlay_of(n: u32, seed: u64) -> PastryOverlay {
+        let mut o = PastryOverlay::new(8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            o.join(NodeIdx(i), rng.gen());
+        }
+        o.build_tables(&mut RandomEntrySelector::new(seed ^ 1));
+        o
+    }
+
+    #[test]
+    fn digits_and_prefixes() {
+        let id: PastryId = 0xABCD_0000_0000_0000;
+        assert_eq!(digit(id, 0), 0xA);
+        assert_eq!(digit(id, 3), 0xD);
+        assert_eq!(digit(id, 15), 0x0);
+        assert_eq!(shared_prefix_len(0xAB00, 0xAB00), DIGITS);
+        assert_eq!(
+            shared_prefix_len(0xA000_0000_0000_0000, 0xB000_0000_0000_0000),
+            0
+        );
+        assert_eq!(
+            shared_prefix_len(0xAB00_0000_0000_0000, 0xAC00_0000_0000_0000),
+            1
+        );
+    }
+
+    #[test]
+    fn slot_members_satisfy_the_constraint() {
+        let o = overlay_of(256, 3);
+        let id = o.node_ids().next().unwrap();
+        for row in 0..3u32 {
+            for d in 0..16u8 {
+                for m in o.members_of_slot(id, row, d) {
+                    assert!(shared_prefix_len(m, id) >= row);
+                    assert_eq!(digit(m, row), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_entries_respect_their_slots() {
+        let o = overlay_of(128, 5);
+        for id in o.node_ids() {
+            for row in 0..DIGITS {
+                for d in 0..16u8 {
+                    if let Some(e) = o.table_entry(id, row, d) {
+                        assert!(shared_prefix_len(e, id) >= row);
+                        assert_eq!(digit(e, row), d);
+                        assert_ne!(e, id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_the_root() {
+        let o = overlay_of(256, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let ids: Vec<PastryId> = o.node_ids().collect();
+        for _ in 0..200 {
+            let start = ids[rng.gen_range(0..ids.len())];
+            let key: PastryId = rng.gen();
+            let route = o.route(start, key).unwrap();
+            assert_eq!(*route.hops.last().unwrap(), o.root_of(key).unwrap());
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic_in_digits() {
+        let o = overlay_of(1024, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let ids: Vec<PastryId> = o.node_ids().collect();
+        let mut total = 0usize;
+        const ROUTES: usize = 200;
+        for _ in 0..ROUTES {
+            let start = ids[rng.gen_range(0..ids.len())];
+            total += o.route(start, rng.gen()).unwrap().hop_count();
+        }
+        let avg = total as f64 / ROUTES as f64;
+        // Theory: ~log16(1024) = 2.5 digit hops plus leaf-set steps.
+        assert!(avg < 6.0, "pastry average hops {avg} is not logarithmic");
+    }
+
+    #[test]
+    fn leaf_sets_are_the_nearest_ids() {
+        let o = overlay_of(64, 11);
+        for id in o.node_ids() {
+            let leaves = o.leaves(id);
+            assert!(leaves.len() >= 8, "leaf set too small: {}", leaves.len());
+            assert!(!leaves.contains(&id));
+        }
+    }
+
+    #[test]
+    fn root_is_the_numerically_closest_node() {
+        let mut o = PastryOverlay::new(2);
+        o.join(NodeIdx(0), 100);
+        o.join(NodeIdx(1), 200);
+        o.join(NodeIdx(2), u64::MAX - 50);
+        assert_eq!(o.root_of(120).unwrap(), 100);
+        assert_eq!(o.root_of(180).unwrap(), 200);
+        assert_eq!(o.root_of(u64::MAX - 10).unwrap(), u64::MAX - 50);
+        // Wrapping: key 10 is closer to MAX-50 (distance 61) than to 100.
+        assert_eq!(o.root_of(10).unwrap(), u64::MAX - 50);
+    }
+
+    #[test]
+    fn departures_surface_as_errors_and_reroutes() {
+        let mut o = overlay_of(64, 13);
+        let victim = o.node_ids().nth(10).unwrap();
+        o.leave(victim).unwrap();
+        assert!(o.leave(victim).is_err());
+        o.build_tables(&mut RandomEntrySelector::new(14));
+        let ids: Vec<PastryId> = o.node_ids().collect();
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..50 {
+            let start = ids[rng.gen_range(0..ids.len())];
+            let key: PastryId = rng.gen();
+            let route = o.route(start, key).unwrap();
+            assert!(route.hops.iter().all(|&h| h != victim));
+        }
+    }
+
+    #[test]
+    fn empty_overlay_errors() {
+        let o = PastryOverlay::new(4);
+        assert_eq!(o.root_of(5), Err(PastryError::Empty));
+        assert!(PastryError::UnknownNode(0xAB)
+            .to_string()
+            .contains("0x00000000000000ab"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Zones: axis-aligned boxes in the CAN space.
+//!
+//! CAN partitions `[0,1)^d` into zones by repeated binary splits; because
+//! every boundary is a dyadic fraction, `f64` arithmetic on them is exact
+//! and zone comparisons can use `==` safely.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::point::Point;
+
+/// An axis-aligned half-open box `[lo, hi)` in the CAN space.
+///
+/// # Example
+///
+/// ```
+/// use tao_overlay::{Point, Zone};
+///
+/// let whole = Zone::whole(2);
+/// let (left, right) = whole.split(0);
+/// assert!(left.contains(&Point::new(vec![0.2, 0.7]).unwrap()));
+/// assert!(right.contains(&Point::new(vec![0.7, 0.7]).unwrap()));
+/// assert!(left.is_neighbor(&right));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zone {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Zone {
+    /// The entire space `[0,1)^dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero.
+    pub fn whole(dims: usize) -> Self {
+        assert!(dims > 0, "a zone needs at least one dimension");
+        Zone {
+            lo: vec![0.0; dims],
+            hi: vec![1.0; dims],
+        }
+    }
+
+    /// Creates a zone from bounds.
+    ///
+    /// Returns `None` unless `lo` and `hi` have the same non-zero length and
+    /// `lo[a] < hi[a]` with both in `[0, 1]` for every axis.
+    pub fn from_bounds(lo: Vec<f64>, hi: Vec<f64>) -> Option<Self> {
+        if lo.is_empty() || lo.len() != hi.len() {
+            return None;
+        }
+        for (l, h) in lo.iter().zip(&hi) {
+            if !l.is_finite() || !h.is_finite() || l >= h || *l < 0.0 || *h > 1.0 {
+                return None;
+            }
+        }
+        Some(Zone { lo, hi })
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound on `axis`.
+    pub fn lo(&self, axis: usize) -> f64 {
+        self.lo[axis]
+    }
+
+    /// Upper bound on `axis`.
+    pub fn hi(&self, axis: usize) -> f64 {
+        self.hi[axis]
+    }
+
+    /// Side length along `axis`.
+    pub fn extent(&self, axis: usize) -> f64 {
+        self.hi[axis] - self.lo[axis]
+    }
+
+    /// Volume (product of extents).
+    pub fn volume(&self) -> f64 {
+        (0..self.dims()).map(|a| self.extent(a)).product()
+    }
+
+    /// `true` if `p` lies inside the half-open box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn contains(&self, p: &Point) -> bool {
+        assert_eq!(p.dims(), self.dims(), "dimensionality mismatch");
+        (0..self.dims()).all(|a| self.lo[a] <= p.coord(a) && p.coord(a) < self.hi[a])
+    }
+
+    /// The centre point.
+    pub fn center(&self) -> Point {
+        Point::clamped(
+            (0..self.dims())
+                .map(|a| (self.lo[a] + self.hi[a]) / 2.0)
+                .collect(),
+        )
+    }
+
+    /// A uniformly random point inside the zone.
+    pub fn random_point(&self, rng: &mut impl Rng) -> Point {
+        Point::clamped(
+            (0..self.dims())
+                .map(|a| rng.gen_range(self.lo[a]..self.hi[a]))
+                .collect(),
+        )
+    }
+
+    /// Splits the zone in half along `axis`, returning `(lower, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn split(&self, axis: usize) -> (Zone, Zone) {
+        assert!(axis < self.dims(), "axis {axis} out of range");
+        let mid = (self.lo[axis] + self.hi[axis]) / 2.0;
+        let mut lower = self.clone();
+        let mut upper = self.clone();
+        lower.hi[axis] = mid;
+        upper.lo[axis] = mid;
+        (lower, upper)
+    }
+
+    /// `true` if the zones overlap along `axis` over an interval of positive
+    /// length (no torus wrap: zones never straddle the 0/1 seam).
+    fn overlaps_on(&self, other: &Zone, axis: usize) -> bool {
+        self.lo[axis] < other.hi[axis] && other.lo[axis] < self.hi[axis]
+    }
+
+    /// `true` if the zones abut along `axis` — share a boundary face,
+    /// including across the torus seam at 0/1.
+    fn abuts_on(&self, other: &Zone, axis: usize) -> bool {
+        self.hi[axis] == other.lo[axis]
+            || other.hi[axis] == self.lo[axis]
+            || (self.hi[axis] == 1.0 && other.lo[axis] == 0.0)
+            || (other.hi[axis] == 1.0 && self.lo[axis] == 0.0)
+    }
+
+    /// CAN neighborship: the zones abut along exactly one axis and overlap
+    /// along all others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn is_neighbor(&self, other: &Zone) -> bool {
+        assert_eq!(self.dims(), other.dims(), "dimensionality mismatch");
+        let mut abutting = 0;
+        for a in 0..self.dims() {
+            if self.overlaps_on(other, a) {
+                continue;
+            }
+            if self.abuts_on(other, a) {
+                abutting += 1;
+                if abutting > 1 {
+                    return false;
+                }
+            } else {
+                return false;
+            }
+        }
+        abutting == 1
+    }
+
+    /// `true` if the boxes intersect with positive volume.
+    pub fn intersects(&self, other: &Zone) -> bool {
+        (0..self.dims()).all(|a| self.overlaps_on(other, a))
+    }
+
+    /// `true` if `other` lies entirely within `self`.
+    pub fn contains_zone(&self, other: &Zone) -> bool {
+        (0..self.dims()).all(|a| self.lo[a] <= other.lo[a] && other.hi[a] <= self.hi[a])
+    }
+
+    /// Minimum torus distance from the box to a point (0 if inside).
+    ///
+    /// The greedy CAN routing metric: it decreases monotonically along a
+    /// correct route and hits zero at the owner's zone.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        assert_eq!(p.dims(), self.dims(), "dimensionality mismatch");
+        let mut sum = 0.0;
+        for a in 0..self.dims() {
+            let c = p.coord(a);
+            if self.lo[a] <= c && c < self.hi[a] {
+                continue;
+            }
+            // Direct gaps on either side, and wrapped gaps around the torus.
+            let below = (self.lo[a] - c).max(0.0);
+            let above = (c - self.hi[a]).max(0.0);
+            let direct = below.max(above);
+            let wrap_low = 1.0 - c + self.lo[a]; // going up past 1.0 to reach lo
+            let wrap_high = 1.0 - self.hi[a] + c; // zone's top wrapping to reach c
+            let d = direct.min(wrap_low).min(wrap_high);
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
+    /// The zone clipped to `other`, if they intersect.
+    pub fn intersection(&self, other: &Zone) -> Option<Zone> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let lo = (0..self.dims())
+            .map(|a| self.lo[a].max(other.lo[a]))
+            .collect();
+        let hi = (0..self.dims())
+            .map(|a| self.hi[a].min(other.hi[a]))
+            .collect();
+        Zone::from_bounds(lo, hi)
+    }
+
+    /// The aligned high-order box of side `2^-level` that contains this
+    /// zone's centre. Level 0 is the whole space.
+    pub fn enclosing_aligned_box(&self, level: u32) -> Zone {
+        let side = 0.5f64.powi(level as i32);
+        let c = self.center();
+        let lo: Vec<f64> = (0..self.dims())
+            .map(|a| (c.coord(a) / side).floor() * side)
+            .collect();
+        let hi = lo.iter().map(|l| l + side).collect();
+        Zone::from_bounds(lo, hi).expect("aligned box bounds are valid")
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for a in 0..self.dims() {
+            if a > 0 {
+                write!(f, " x ")?;
+            }
+            write!(f, "{:.4}..{:.4}", self.lo[a], self.hi[a])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_space_has_unit_volume() {
+        let z = Zone::whole(3);
+        assert!((z.volume() - 1.0).abs() < 1e-12);
+        assert!(z.contains(&Point::new(vec![0.99, 0.0, 0.5]).unwrap()));
+    }
+
+    #[test]
+    fn split_partitions_volume_exactly() {
+        let z = Zone::whole(2);
+        let (a, b) = z.split(1);
+        assert_eq!(a.volume() + b.volume(), 1.0);
+        assert_eq!(a.hi(1), 0.5);
+        assert_eq!(b.lo(1), 0.5);
+        // Halves are neighbors of each other.
+        assert!(a.is_neighbor(&b));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let (a, b) = Zone::whole(1).split(0);
+        let boundary = Point::new(vec![0.5]).unwrap();
+        assert!(!a.contains(&boundary));
+        assert!(b.contains(&boundary));
+    }
+
+    #[test]
+    fn neighbors_require_overlap_in_other_dims() {
+        let whole = Zone::whole(2);
+        let (left, right) = whole.split(0);
+        let (left_bottom, left_top) = left.split(1);
+        let (right_bottom, right_top) = right.split(1);
+        assert!(left_bottom.is_neighbor(&right_bottom));
+        assert!(left_bottom.is_neighbor(&left_top));
+        // Diagonal zones only touch at a corner: not neighbors.
+        assert!(!left_bottom.is_neighbor(&right_top));
+        assert!(!right_bottom.is_neighbor(&left_top));
+    }
+
+    #[test]
+    fn neighbors_wrap_around_the_torus() {
+        let whole = Zone::whole(2);
+        let (left, right) = whole.split(0);
+        let (ll, _lr) = left.split(0); // [0, 0.25)
+        let (_rl, rr) = right.split(0); // [0.75, 1)
+        assert!(ll.is_neighbor(&rr), "zones abut across the 0/1 seam");
+    }
+
+    #[test]
+    fn unequal_depth_zones_can_be_neighbors() {
+        let whole = Zone::whole(2);
+        let (left, right) = whole.split(0);
+        let (right_bottom, right_top) = right.split(1);
+        assert!(left.is_neighbor(&right_bottom));
+        assert!(left.is_neighbor(&right_top));
+        assert!(!right_bottom.is_neighbor(&right_bottom.clone()), "zone is not its own neighbor");
+    }
+
+    #[test]
+    fn distance_to_point_is_zero_inside_and_wraps() {
+        let (left, _) = Zone::whole(1).split(0); // [0, 0.5)
+        assert_eq!(left.distance_to_point(&Point::new(vec![0.2]).unwrap()), 0.0);
+        let p = Point::new(vec![0.95]).unwrap();
+        // Direct gap to hi=0.5 is 0.45; wrapped gap to lo=0.0 is 0.05.
+        assert!((left.distance_to_point(&p) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_clips() {
+        let whole = Zone::whole(2);
+        let (left, right) = whole.split(0);
+        assert!(left.intersection(&right).is_none());
+        let (lb, _) = left.split(1);
+        let i = lb.intersection(&left).unwrap();
+        assert_eq!(i, lb);
+    }
+
+    #[test]
+    fn contains_zone_is_reflexive_and_ordered() {
+        let whole = Zone::whole(2);
+        let (left, _) = whole.split(0);
+        assert!(whole.contains_zone(&left));
+        assert!(!left.contains_zone(&whole));
+        assert!(left.contains_zone(&left));
+    }
+
+    #[test]
+    fn enclosing_aligned_box_levels() {
+        let whole = Zone::whole(2);
+        let (left, _) = whole.split(0);
+        let (lb, _) = left.split(1); // [0,0.5) x [0,0.5)
+        let (deep, _) = lb.split(0); // [0,0.25) x [0,0.5)
+        assert_eq!(deep.enclosing_aligned_box(0), whole);
+        assert_eq!(deep.enclosing_aligned_box(1), lb);
+    }
+
+    #[test]
+    fn from_bounds_validates() {
+        assert!(Zone::from_bounds(vec![0.0], vec![1.0]).is_some());
+        assert!(Zone::from_bounds(vec![0.5], vec![0.5]).is_none());
+        assert!(Zone::from_bounds(vec![0.0, 0.0], vec![1.0]).is_none());
+        assert!(Zone::from_bounds(vec![-0.1], vec![0.5]).is_none());
+        assert!(Zone::from_bounds(vec![0.0], vec![1.1]).is_none());
+    }
+
+    #[test]
+    fn random_point_lands_inside() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (left, _) = Zone::whole(3).split(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert!(left.contains(&left.random_point(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        let (left, _) = Zone::whole(1).split(0);
+        assert_eq!(left.to_string(), "[0.0000..0.5000]");
+    }
+}

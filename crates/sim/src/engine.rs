@@ -1,0 +1,467 @@
+//! The message-passing simulation engine.
+//!
+//! [`Simulator`] owns a set of nodes (identified by dense [`NodeId`]s), an
+//! [`EventQueue`] of in-flight [`Message`]s and timers, and a [`LatencyModel`]
+//! that decides how long each message takes to arrive. Handlers receive an
+//! [`Engine`] handle through which they can send further messages and set
+//! timers — mutation of the queue is mediated so handlers cannot observe
+//! half-updated simulator state.
+
+use crate::event::EventQueue;
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Identifies a simulated node. Dense, assigned by [`Simulator::add_node`] in
+/// increasing order starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// Application payload.
+    pub payload: M,
+}
+
+/// A timer owned by a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timer<M> {
+    /// The node whose timer fires.
+    pub owner: NodeId,
+    /// Application payload attached when the timer was set.
+    pub payload: M,
+}
+
+#[derive(Debug, Clone)]
+enum Pending<M> {
+    Deliver(Message<M>),
+    Fire(Timer<M>),
+}
+
+/// Decides the one-way delivery latency between two nodes.
+///
+/// Implementations typically wrap a topology graph; [`UniformLatency`] is a
+/// trivial model for tests.
+pub trait LatencyModel {
+    /// One-way latency from `from` to `to`.
+    fn latency(&self, from: NodeId, to: NodeId) -> SimDuration;
+}
+
+/// A [`LatencyModel`] that charges the same latency for every pair.
+///
+/// # Example
+///
+/// ```
+/// use tao_sim::{LatencyModel, NodeId, SimDuration, UniformLatency};
+///
+/// let m = UniformLatency::new(SimDuration::from_millis(1));
+/// assert_eq!(m.latency(NodeId(0), NodeId(9)), SimDuration::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformLatency {
+    latency: SimDuration,
+}
+
+impl UniformLatency {
+    /// Creates a model that always answers `latency`.
+    pub fn new(latency: SimDuration) -> Self {
+        UniformLatency { latency }
+    }
+}
+
+impl LatencyModel for UniformLatency {
+    fn latency(&self, _from: NodeId, _to: NodeId) -> SimDuration {
+        self.latency
+    }
+}
+
+impl<F> LatencyModel for F
+where
+    F: Fn(NodeId, NodeId) -> SimDuration,
+{
+    fn latency(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self(from, to)
+    }
+}
+
+/// Handle passed to event handlers for scheduling follow-up work.
+///
+/// Sends and timers requested through the handle are applied to the
+/// simulator's queue when the handler returns.
+#[derive(Debug)]
+pub struct Engine<M> {
+    now: SimTime,
+    outgoing: Vec<(NodeId, NodeId, M)>,
+    timers: Vec<(SimDuration, NodeId, M)>,
+}
+
+impl<M> Engine<M> {
+    fn new(now: SimTime) -> Self {
+        Engine {
+            now,
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `payload` from `from` to `to`; it will be delivered after the
+    /// latency model's delay.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        self.outgoing.push((from, to, payload));
+    }
+
+    /// Arms a timer on `owner` that fires after `delay`.
+    pub fn set_timer(&mut self, owner: NodeId, delay: SimDuration, payload: M) {
+        self.timers.push((delay, owner, payload));
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the message payload type `M` and the latency model `L`. The
+/// processing loop is driven by the caller via [`Simulator::step`] or
+/// [`Simulator::run_until`]; handlers are plain closures, so the simulator
+/// imposes no trait on node state — experiments keep node state in whatever
+/// structure suits them and borrow it inside the handler.
+#[derive(Debug)]
+pub struct Simulator<M, L> {
+    queue: EventQueue<Pending<M>>,
+    latency: L,
+    now: SimTime,
+    nodes: usize,
+    stats: NetStats,
+    payload_size: u64,
+}
+
+impl<M, L: LatencyModel> Simulator<M, L> {
+    /// Creates a simulator with no nodes at time [`SimTime::ORIGIN`].
+    pub fn new(latency: L) -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            latency,
+            now: SimTime::ORIGIN,
+            nodes: 0,
+            stats: NetStats::new(),
+            payload_size: 64,
+        }
+    }
+
+    /// Sets the nominal byte size charged per message for [`NetStats`]
+    /// accounting (default 64).
+    pub fn set_payload_size(&mut self, bytes: u64) {
+        self.payload_size = bytes;
+    }
+
+    /// Registers a node and returns its id. Ids are dense and increasing.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes);
+        self.nodes += 1;
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated network statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Number of queued (undelivered) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Injects a message from outside the simulation (e.g. the workload
+    /// driver); it is delivered after the model latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been registered.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        self.check_node(from);
+        self.check_node(to);
+        let delay = self.latency.latency(from, to);
+        self.stats.record_message(self.payload_size);
+        self.queue
+            .schedule(self.now + delay, Pending::Deliver(Message { from, to, payload }));
+    }
+
+    /// Arms a timer on `owner` firing after `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` has not been registered.
+    pub fn set_timer(&mut self, owner: NodeId, delay: SimDuration, payload: M) {
+        self.check_node(owner);
+        self.queue
+            .schedule(self.now + delay, Pending::Fire(Timer { owner, payload }));
+    }
+
+    /// Processes the earliest event, if any.
+    ///
+    /// Message deliveries call `on_message(engine, recipient, message)`;
+    /// timer firings are surfaced as a message from the owner to itself.
+    /// Returns the handler's output, or `None` when the queue is empty.
+    pub fn step<R>(
+        &mut self,
+        mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>) -> R,
+    ) -> Option<R> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.now = ev.at;
+        let mut engine = Engine::new(self.now);
+        let out = match ev.event {
+            Pending::Deliver(msg) => {
+                let at = msg.to;
+                on_message(&mut engine, at, msg)
+            }
+            Pending::Fire(t) => {
+                let at = t.owner;
+                on_message(
+                    &mut engine,
+                    at,
+                    Message {
+                        from: t.owner,
+                        to: t.owner,
+                        payload: t.payload,
+                    },
+                )
+            }
+        };
+        let Engine { outgoing, timers, .. } = engine;
+        for (from, to, payload) in outgoing {
+            self.send(from, to, payload);
+        }
+        for (delay, owner, payload) in timers {
+            self.set_timer(owner, delay, payload);
+        }
+        Some(out)
+    }
+
+    /// Runs until the queue is empty or virtual time would pass `deadline`;
+    /// returns the number of events processed.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>),
+    ) -> usize {
+        let mut processed = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
+                break;
+            }
+            self.step(&mut on_message);
+            processed += 1;
+        }
+        processed
+    }
+
+    fn check_node(&self, id: NodeId) {
+        assert!(
+            id.0 < self.nodes,
+            "node {id} is not registered (have {} nodes)",
+            self.nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_sim() -> Simulator<u32, UniformLatency> {
+        let mut sim = Simulator::new(UniformLatency::new(SimDuration::from_millis(2)));
+        sim.add_node();
+        sim.add_node();
+        sim
+    }
+
+    #[test]
+    fn message_arrives_after_model_latency() {
+        let mut sim = two_node_sim();
+        sim.send(NodeId(0), NodeId(1), 7);
+        let got = sim.step(|_, at, msg| (at, msg.payload)).unwrap();
+        assert_eq!(got, (NodeId(1), 7));
+        assert_eq!(sim.now(), SimTime::from_micros(2_000));
+    }
+
+    #[test]
+    fn handler_sends_are_chained() {
+        let mut sim = two_node_sim();
+        sim.send(NodeId(0), NodeId(1), 0);
+        let mut deliveries = Vec::new();
+        while sim
+            .step(|engine, _, msg| {
+                if msg.payload < 3 {
+                    engine.send(msg.to, msg.from, msg.payload + 1);
+                }
+                deliveries.push(msg.payload);
+            })
+            .is_some()
+        {}
+        assert_eq!(deliveries, vec![0, 1, 2, 3]);
+        // Four legs of 2 ms each.
+        assert_eq!(sim.now(), SimTime::from_micros(8_000));
+    }
+
+    #[test]
+    fn timers_fire_on_owner() {
+        let mut sim = two_node_sim();
+        sim.set_timer(NodeId(1), SimDuration::from_millis(5), 99);
+        let got = sim.step(|_, at, msg| (at, msg.from, msg.payload)).unwrap();
+        assert_eq!(got, (NodeId(1), NodeId(1), 99));
+        assert_eq!(sim.now(), SimTime::from_micros(5_000));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = two_node_sim();
+        for i in 0..10 {
+            sim.set_timer(NodeId(0), SimDuration::from_millis(i), i as u32);
+        }
+        // Events at 0..=4 ms are within the deadline; 5..=9 ms are not.
+        let n = sim.run_until(SimTime::from_micros(4_000), |_, _, _| {});
+        assert_eq!(n, 5);
+        assert_eq!(sim.pending(), 5);
+    }
+
+    #[test]
+    fn stats_count_messages_not_timers() {
+        let mut sim = two_node_sim();
+        sim.set_payload_size(100);
+        sim.send(NodeId(0), NodeId(1), 1);
+        sim.set_timer(NodeId(0), SimDuration::ZERO, 2);
+        while sim.step(|_, _, _| {}).is_some() {}
+        assert_eq!(sim.stats().messages(), 1);
+        assert_eq!(sim.stats().bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn sending_to_unknown_node_panics() {
+        let mut sim = two_node_sim();
+        sim.send(NodeId(0), NodeId(5), 1);
+    }
+
+    #[test]
+    fn closure_latency_model_works() {
+        let model = |from: NodeId, to: NodeId| {
+            SimDuration::from_micros((from.0 + to.0) as u64 * 10)
+        };
+        let mut sim = Simulator::new(model);
+        sim.add_node();
+        sim.add_node();
+        sim.send(NodeId(0), NodeId(1), ());
+        sim.step(|_, _, _| {});
+        assert_eq!(sim.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn same_instant_events_process_in_insertion_order() {
+        let mut sim = two_node_sim();
+        sim.set_timer(NodeId(0), SimDuration::ZERO, 1);
+        sim.set_timer(NodeId(0), SimDuration::ZERO, 2);
+        sim.set_timer(NodeId(0), SimDuration::ZERO, 3);
+        let mut seen = Vec::new();
+        while sim.step(|_, _, m| seen.push(m.payload)).is_some() {}
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Identical schedules replay identically: determinism is the
+        /// engine's core guarantee.
+        #[test]
+        fn identical_runs_replay_identically(
+            sends in proptest::collection::vec((0usize..4, 0usize..4, any::<u16>()), 1..30),
+        ) {
+            let run = || {
+                let mut sim: Simulator<u16, _> =
+                    Simulator::new(UniformLatency::new(SimDuration::from_millis(3)));
+                for _ in 0..4 {
+                    sim.add_node();
+                }
+                for &(a, b, p) in &sends {
+                    sim.send(NodeId(a), NodeId(b), p);
+                }
+                let mut log = Vec::new();
+                while sim
+                    .step(|engine, at, msg| {
+                        if msg.payload % 7 == 0 && msg.payload < 10_000 {
+                            engine.send(at, msg.from, msg.payload + 1);
+                        }
+                        log.push((at, msg.payload));
+                    })
+                    .is_some()
+                {}
+                (log, sim.now(), sim.stats())
+            };
+            prop_assert_eq!(run(), run());
+        }
+
+        /// Virtual time never runs backwards, whatever the schedule.
+        #[test]
+        fn time_is_monotone(
+            delays in proptest::collection::vec(0u64..10_000, 1..50),
+        ) {
+            let mut sim: Simulator<(), _> =
+                Simulator::new(UniformLatency::new(SimDuration::ZERO));
+            sim.add_node();
+            for &d in &delays {
+                sim.set_timer(NodeId(0), SimDuration::from_micros(d), ());
+            }
+            let mut last = SimTime::ORIGIN;
+            while let Some(at) = sim.step(|engine, _, _| engine.now()) {
+                prop_assert!(at >= last);
+                last = at;
+            }
+        }
+
+        /// Every message sent is delivered exactly once.
+        #[test]
+        fn delivery_is_exactly_once(
+            sends in proptest::collection::vec((0usize..3, 0usize..3), 1..40),
+        ) {
+            let mut sim: Simulator<usize, _> =
+                Simulator::new(UniformLatency::new(SimDuration::from_millis(1)));
+            for _ in 0..3 {
+                sim.add_node();
+            }
+            for (i, &(a, b)) in sends.iter().enumerate() {
+                sim.send(NodeId(a), NodeId(b), i);
+            }
+            let mut seen = vec![0usize; sends.len()];
+            while sim.step(|_, _, msg| seen[msg.payload] += 1).is_some() {}
+            prop_assert!(seen.iter().all(|&c| c == 1));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Network accounting: counts of messages and bytes moved through the
+//! simulator, so experiments can report communication cost (e.g. the
+//! maintenance-traffic comparison in §5.2 of the paper).
+
+use std::fmt;
+
+/// Running totals of simulated network activity.
+///
+/// # Example
+///
+/// ```
+/// use tao_sim::NetStats;
+///
+/// let mut stats = NetStats::new();
+/// stats.record_message(128);
+/// stats.record_message(64);
+/// assert_eq!(stats.messages(), 2);
+/// assert_eq!(stats.bytes(), 192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    messages: u64,
+    bytes: u64,
+}
+
+impl NetStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one message of `bytes` payload bytes.
+    pub fn record_message(&mut self, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: NetStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+
+    /// Difference since an earlier snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has larger counters than `self`.
+    pub fn since(&self, earlier: NetStats) -> NetStats {
+        NetStats {
+            messages: self
+                .messages
+                .checked_sub(earlier.messages)
+                .expect("snapshot is newer than self"),
+            bytes: self
+                .bytes
+                .checked_sub(earlier.bytes)
+                .expect("snapshot is newer than self"),
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} msgs / {} bytes", self.messages, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_merges() {
+        let mut a = NetStats::new();
+        a.record_message(10);
+        let mut b = NetStats::new();
+        b.record_message(5);
+        b.record_message(5);
+        a.merge(b);
+        assert_eq!(a.messages(), 3);
+        assert_eq!(a.bytes(), 20);
+    }
+
+    #[test]
+    fn since_subtracts_snapshots() {
+        let mut s = NetStats::new();
+        s.record_message(100);
+        let snap = s;
+        s.record_message(50);
+        let delta = s.since(snap);
+        assert_eq!(delta.messages(), 1);
+        assert_eq!(delta.bytes(), 50);
+    }
+
+    #[test]
+    fn display_mentions_both_counters() {
+        let mut s = NetStats::new();
+        s.record_message(7);
+        assert_eq!(s.to_string(), "1 msgs / 7 bytes");
+    }
+}

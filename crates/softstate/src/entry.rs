@@ -1,0 +1,223 @@
+//! The published soft-state objects.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tao_landmark::{LandmarkNumber, LandmarkVector};
+use tao_overlay::{OverlayNodeId, Point};
+use tao_sim::{SimDuration, SimTime};
+use tao_topology::NodeIdx;
+
+/// Load and capacity statistics a node may publish alongside its proximity
+/// information (§6: "a node periodically publishes these statistics along
+/// with its proximity information").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStats {
+    /// Maximum forwarding capacity (requests/second, abstract units).
+    pub capacity: f64,
+    /// Current load in the same units.
+    pub current_load: f64,
+}
+
+impl LoadStats {
+    /// Load as a fraction of capacity (`0.0` = idle; may exceed `1.0` when
+    /// overloaded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is not positive.
+    pub fn utilization(&self) -> f64 {
+        assert!(self.capacity > 0.0, "capacity must be positive");
+        self.current_load / self.capacity
+    }
+}
+
+/// Everything the system knows about one node: the payload of its
+/// soft-state objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    /// The node's overlay identity.
+    pub node: OverlayNodeId,
+    /// The underlay router it runs on.
+    pub underlay: NodeIdx,
+    /// Its full landmark vector (used for final candidate ranking).
+    pub vector: LandmarkVector,
+    /// Its landmark number (the DHT key of its soft-state).
+    pub number: LandmarkNumber,
+    /// Optional load statistics (§6).
+    pub load: Option<LoadStats>,
+}
+
+/// One stored object: the paper's `<Z, n, p>` triple — node info `n`,
+/// placed at position `p` within region `Z` — plus its expiry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftStateEntry {
+    /// The published node information.
+    pub info: NodeInfo,
+    /// The position within the region where the object is stored.
+    pub position: Point,
+    /// Virtual time at which the entry lapses unless refreshed.
+    pub expires_at: SimTime,
+}
+
+impl SoftStateEntry {
+    /// `true` if the entry is still live at `now`.
+    pub fn is_live(&self, now: SimTime) -> bool {
+        now < self.expires_at
+    }
+
+    /// Refreshes the entry to expire `ttl` after `now`.
+    pub fn refresh(&mut self, now: SimTime, ttl: SimDuration) {
+        self.expires_at = now + ttl;
+    }
+
+    /// Serialises the entry to a compact wire format (used to account for
+    /// soft-state message sizes).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32(self.info.node.0);
+        b.put_u32(self.info.underlay.0);
+        b.put_u128(self.info.number.value());
+        b.put_u64(self.expires_at.as_micros());
+        b.put_u16(self.info.vector.len() as u16);
+        for r in self.info.vector.rtts() {
+            b.put_u64(r.as_micros());
+        }
+        b.put_u16(self.position.dims() as u16);
+        for &c in self.position.coords() {
+            b.put_f64(c);
+        }
+        match self.info.load {
+            Some(l) => {
+                b.put_u8(1);
+                b.put_f64(l.capacity);
+                b.put_f64(l.current_load);
+            }
+            None => b.put_u8(0),
+        }
+        b.freeze()
+    }
+
+    /// Decodes an entry produced by [`SoftStateEntry::encode`].
+    ///
+    /// Returns `None` on truncated or malformed input.
+    pub fn decode(mut data: Bytes) -> Option<Self> {
+        fn need(data: &Bytes, n: usize) -> Option<()> {
+            (data.remaining() >= n).then_some(())
+        }
+        need(&data, 4 + 4 + 16 + 8 + 2)?;
+        let node = OverlayNodeId(data.get_u32());
+        let underlay = NodeIdx(data.get_u32());
+        let number = LandmarkNumber::new(data.get_u128());
+        let expires_at = SimTime::from_micros(data.get_u64());
+        let vec_len = data.get_u16() as usize;
+        if vec_len == 0 {
+            return None;
+        }
+        need(&data, vec_len * 8 + 2)?;
+        let rtts = (0..vec_len)
+            .map(|_| SimDuration::from_micros(data.get_u64()))
+            .collect();
+        let vector = LandmarkVector::new(rtts);
+        let dims = data.get_u16() as usize;
+        need(&data, dims * 8 + 1)?;
+        let coords: Vec<f64> = (0..dims).map(|_| data.get_f64()).collect();
+        let position = Point::new(coords)?;
+        let load = match data.get_u8() {
+            0 => None,
+            1 => {
+                need(&data, 16)?;
+                Some(LoadStats {
+                    capacity: data.get_f64(),
+                    current_load: data.get_f64(),
+                })
+            }
+            _ => return None,
+        };
+        Some(SoftStateEntry {
+            info: NodeInfo {
+                node,
+                underlay,
+                vector,
+                number,
+                load,
+            },
+            position,
+            expires_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(load: Option<LoadStats>) -> SoftStateEntry {
+        SoftStateEntry {
+            info: NodeInfo {
+                node: OverlayNodeId(42),
+                underlay: NodeIdx(7),
+                vector: LandmarkVector::from_millis(&[10.0, 20.0, 30.0]),
+                number: LandmarkNumber::new(0xDEADBEEF),
+                load,
+            },
+            position: Point::new(vec![0.25, 0.75]).unwrap(),
+            expires_at: SimTime::from_micros(5_000_000),
+        }
+    }
+
+    #[test]
+    fn liveness_follows_the_clock() {
+        let mut e = sample_entry(None);
+        assert!(e.is_live(SimTime::from_micros(4_999_999)));
+        assert!(!e.is_live(SimTime::from_micros(5_000_000)));
+        e.refresh(SimTime::from_micros(5_000_000), SimDuration::from_secs(1));
+        assert!(e.is_live(SimTime::from_micros(5_500_000)));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_without_load() {
+        let e = sample_entry(None);
+        let decoded = SoftStateEntry::decode(e.encode()).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_with_load() {
+        let e = sample_entry(Some(LoadStats {
+            capacity: 100.0,
+            current_load: 73.5,
+        }));
+        let decoded = SoftStateEntry::decode(e.encode()).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let e = sample_entry(None);
+        let full = e.encode();
+        for cut in [0, 1, 10, full.len() - 1] {
+            assert!(
+                SoftStateEntry::decode(full.slice(..cut)).is_none(),
+                "decode must fail at {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_divides_load_by_capacity() {
+        let l = LoadStats {
+            capacity: 200.0,
+            current_load: 50.0,
+        };
+        assert!((l.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn utilization_rejects_zero_capacity() {
+        LoadStats {
+            capacity: 0.0,
+            current_load: 1.0,
+        }
+        .utilization();
+    }
+}

@@ -1,0 +1,58 @@
+//! # tao-softstate — global soft-state on the overlay itself
+//!
+//! The paper's central idea: store *information about the system* — each
+//! node's proximity coordinates, and optionally its load — **in the overlay
+//! itself**, as soft-state objects whose placement is controlled so that
+//! information about physically close nodes is stored logically close
+//! together. Nodes then act as rendezvous points for each other.
+//!
+//! * [`NodeInfo`] / [`SoftStateEntry`] — the published objects: the triple
+//!   `<Z, n, p>` of the paper (§5.1) plus a TTL and optional [`LoadStats`]
+//!   (§6), with a compact wire encoding,
+//! * [`ZoneMap`] — the map of one region (high-order zone): entries indexed
+//!   by landmark number, *condensed* into a fraction of the region
+//!   (condense rate), expiring by TTL, queried with the Table-1 lookup
+//!   procedure (land at the hash position, widen the search window until
+//!   candidates are found, rank by full landmark vector),
+//! * [`GlobalState`] — all maps of an eCAN overlay: publish a node into the
+//!   map of every enclosing high-order zone (≤ log N maps), look up the
+//!   closest members of a target zone, and report per-host entry counts
+//!   (figure 16's "map entries / node"),
+//! * [`pubsub`] — subscriptions over the maps with predicate filtering and
+//!   distribution-tree dissemination,
+//! * [`MaintenancePolicy`] — reactive / periodic-poll / proactive-departure
+//!   repair of the soft-state (§5.2), with staleness accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use tao_softstate::{GlobalState, SoftStateConfig};
+//! use tao_landmark::{LandmarkGrid, SpaceFillingCurve};
+//! use tao_sim::SimDuration;
+//!
+//! let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
+//! let config = SoftStateConfig::builder(grid)
+//!     .condense_rate(0.25)
+//!     .ttl(SimDuration::from_secs(60))
+//!     .build();
+//! let state = GlobalState::new(config);
+//! assert_eq!(state.map_count(), 0); // maps appear as nodes publish
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod entry;
+mod map;
+pub mod pubsub;
+mod maintenance;
+pub mod prefix;
+pub mod ring;
+mod store;
+
+pub use config::{SoftStateConfig, SoftStateConfigBuilder};
+pub use entry::{LoadStats, NodeInfo, SoftStateEntry};
+pub use maintenance::{MaintenancePolicy, MaintenanceReport};
+pub use map::{ZoneKey, ZoneMap};
+pub use store::GlobalState;

@@ -1,0 +1,178 @@
+//! Soft-state maintenance policies (§5.2).
+//!
+//! "The global state can be lazily maintained. In the most reactive case,
+//! departed nodes are deleted from the global state only when they are
+//! selected as routing neighbor replacements and later found un-reachable.
+//! Alternatively, each owner of the map information can periodically poll
+//! the liveliness of the nodes. The most proactive measure is to update the
+//! map when a node is about to depart."
+//!
+//! [`MaintenancePolicy`] encodes the three regimes; `apply_departure`
+//! executes one departure under a policy against a [`GlobalState`] and
+//! accounts its cost/staleness trade-off in a [`MaintenanceReport`].
+
+use tao_overlay::OverlayNodeId;
+use tao_sim::{SimDuration, SimTime};
+
+use crate::store::GlobalState;
+
+/// How the global state learns about departures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// Entries of departed nodes linger until a consumer trips over them
+    /// (modelled as: entries stay until their TTL lapses).
+    Reactive,
+    /// Map owners poll liveness every `period`; a departed node's entries
+    /// disappear at the next poll tick after its departure.
+    PeriodicPoll {
+        /// The polling period.
+        period: SimDuration,
+    },
+    /// The departing node withdraws its own entries immediately.
+    ProactiveDeparture,
+}
+
+/// Cost/staleness accounting for maintenance activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceReport {
+    /// Messages spent on maintenance (withdrawals, poll probes).
+    pub messages: u64,
+    /// How long the departed node's entries stayed visible after departure.
+    pub staleness: SimDuration,
+}
+
+impl MaintenancePolicy {
+    /// Applies one node departure at `departed_at` under this policy.
+    ///
+    /// * `Reactive` — nothing is sent; entries stay visible until their TTL
+    ///   lapses (`ttl_remaining` is how much TTL the entries had left).
+    /// * `PeriodicPoll` — at the next poll tick the owner probes the node
+    ///   (1 message per map entry) and deletes its entries.
+    /// * `ProactiveDeparture` — the node withdraws from every map it is in
+    ///   (1 message per map) with zero staleness.
+    ///
+    /// Returns the report; the [`GlobalState`] is updated to reflect the
+    /// policy's effect at the time it takes effect.
+    pub fn apply_departure(
+        self,
+        state: &mut GlobalState,
+        node: OverlayNodeId,
+        departed_at: SimTime,
+        ttl_remaining: SimDuration,
+    ) -> MaintenanceReport {
+        match self {
+            MaintenancePolicy::Reactive => {
+                // The entries will lapse on their own; staleness is the
+                // remaining TTL. Nothing to send now.
+                MaintenanceReport {
+                    messages: 0,
+                    staleness: ttl_remaining,
+                }
+            }
+            MaintenancePolicy::PeriodicPoll { period } => {
+                // The next tick after departure discovers the death. One
+                // probe per map listing the node.
+                let maps_touched = state.remove(node) as u64;
+                let _ = departed_at;
+                MaintenanceReport {
+                    messages: maps_touched,
+                    staleness: period / 2, // expected wait until the next tick
+                }
+            }
+            MaintenancePolicy::ProactiveDeparture => {
+                let maps_touched = state.remove(node) as u64;
+                MaintenanceReport {
+                    messages: maps_touched,
+                    staleness: SimDuration::ZERO,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SoftStateConfig;
+    use crate::entry::NodeInfo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tao_landmark::{LandmarkGrid, LandmarkVector};
+    use tao_overlay::ecan::{EcanOverlay, RandomSelector};
+    use tao_overlay::{CanOverlay, Point};
+    use tao_topology::NodeIdx;
+
+    fn published_state() -> (GlobalState, u64) {
+        let mut can = CanOverlay::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        for i in 0..64u32 {
+            can.join(NodeIdx(i), Point::random(2, &mut rng));
+        }
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(3));
+        let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
+        let mut state = GlobalState::new(SoftStateConfig::builder(grid).build());
+        let vector = LandmarkVector::from_millis(&[20.0, 40.0, 60.0]);
+        let number = state
+            .config()
+            .grid()
+            .landmark_number(&vector, state.config().curve());
+        let written = state.publish(
+            NodeInfo {
+                node: OverlayNodeId(7),
+                underlay: NodeIdx(7),
+                vector,
+                number,
+                load: None,
+            },
+            &ecan,
+            SimTime::ORIGIN,
+        );
+        (state, written as u64)
+    }
+
+    #[test]
+    fn reactive_sends_nothing_but_stays_stale() {
+        let (mut state, _) = published_state();
+        let before = state.total_entries();
+        let r = MaintenancePolicy::Reactive.apply_departure(
+            &mut state,
+            OverlayNodeId(7),
+            SimTime::ORIGIN,
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.staleness, SimDuration::from_secs(30));
+        assert_eq!(state.total_entries(), before, "entries linger");
+    }
+
+    #[test]
+    fn proactive_withdraws_immediately() {
+        let (mut state, written) = published_state();
+        let r = MaintenancePolicy::ProactiveDeparture.apply_departure(
+            &mut state,
+            OverlayNodeId(7),
+            SimTime::ORIGIN,
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(r.messages, written);
+        assert_eq!(r.staleness, SimDuration::ZERO);
+        assert_eq!(state.total_entries(), 0);
+    }
+
+    #[test]
+    fn polling_pays_messages_for_bounded_staleness() {
+        let (mut state, written) = published_state();
+        let r = MaintenancePolicy::PeriodicPoll {
+            period: SimDuration::from_secs(10),
+        }
+        .apply_departure(
+            &mut state,
+            OverlayNodeId(7),
+            SimTime::ORIGIN,
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(r.messages, written);
+        assert_eq!(r.staleness, SimDuration::from_secs(5));
+        assert_eq!(state.total_entries(), 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Per-region proximity maps.
+//!
+//! Each region (high-order zone) of the overlay has one *map* containing
+//! proximity information about all nodes in the region. The map is stored
+//! in a *condensed* sub-box of the region (the condense rate is the ratio of
+//! map size to hosting region size, §5.1), and entries are placed inside it
+//! by hashing their landmark number through a space-filling curve — so
+//! information about physically close nodes lands on the same or adjacent
+//! hosts.
+
+use std::collections::BTreeMap;
+
+use tao_landmark::{region_position, LandmarkNumber, LandmarkVector};
+use tao_overlay::{CanOverlay, OverlayNodeId, Point, Zone};
+use tao_sim::SimTime;
+
+use crate::config::SoftStateConfig;
+use crate::entry::{NodeInfo, SoftStateEntry};
+
+/// Hashable identity of a dyadic zone (all CAN zones are dyadic, so the
+/// fixed-point encoding below is exact).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneKey(Vec<(u64, u64)>);
+
+impl ZoneKey {
+    /// Creates the key for `zone`.
+    pub fn from_zone(zone: &Zone) -> Self {
+        const SCALE: f64 = (1u64 << 32) as f64;
+        ZoneKey(
+            (0..zone.dims())
+                .map(|a| ((zone.lo(a) * SCALE) as u64, (zone.hi(a) * SCALE) as u64))
+                .collect(),
+        )
+    }
+}
+
+/// The map of one region.
+///
+/// # Example
+///
+/// ```
+/// use tao_softstate::{SoftStateConfig, ZoneMap, NodeInfo};
+/// use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
+/// use tao_overlay::{OverlayNodeId, Zone};
+/// use tao_sim::{SimDuration, SimTime};
+/// use tao_topology::NodeIdx;
+///
+/// let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
+/// let config = SoftStateConfig::builder(grid).build();
+/// let mut map = ZoneMap::new(Zone::whole(2), &config);
+///
+/// let vector = LandmarkVector::from_millis(&[10.0, 40.0, 90.0]);
+/// let number = config.grid().landmark_number(&vector, config.curve());
+/// map.publish(
+///     NodeInfo { node: OverlayNodeId(0), underlay: NodeIdx(0), vector: vector.clone(),
+///                number, load: None },
+///     SimTime::ORIGIN,
+///     &config,
+/// );
+/// let found = map.lookup(&vector, number, 5, 32, SimTime::ORIGIN);
+/// assert_eq!(found.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    region: Zone,
+    condensed: Zone,
+    /// Entries keyed by landmark number (then owner id for determinism).
+    entries: BTreeMap<(u128, OverlayNodeId), SoftStateEntry>,
+    /// Secondary index: each node's current landmark number, enforcing one
+    /// entry per node per map even when its coordinates change.
+    by_node: std::collections::HashMap<OverlayNodeId, u128>,
+}
+
+impl ZoneMap {
+    /// Creates an empty map for `region`, condensing it per the config.
+    pub fn new(region: Zone, config: &SoftStateConfig) -> Self {
+        let condensed = condensed_box(&region, config.condense_rate());
+        ZoneMap {
+            region,
+            condensed,
+            entries: BTreeMap::new(),
+            by_node: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The region this map covers.
+    pub fn region(&self) -> &Zone {
+        &self.region
+    }
+
+    /// The sub-box of the region that hosts the map's objects.
+    pub fn condensed(&self) -> &Zone {
+        &self.condensed
+    }
+
+    /// Number of stored entries (including not-yet-expired stale ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The position within the region at which information keyed by
+    /// `number` is stored — the paper's `p' = h(p, dp, dz, Z)`.
+    pub fn position_for(&self, number: LandmarkNumber, config: &SoftStateConfig) -> Point {
+        let normalised = region_position(
+            number,
+            config.grid().number_bits(),
+            self.region.dims(),
+            config.position_resolution_bits(),
+            config.curve(),
+        );
+        // Scale the normalised position into the condensed box.
+        Point::clamped(
+            (0..self.condensed.dims())
+                .map(|a| self.condensed.lo(a) + normalised[a] * self.condensed.extent(a))
+                .collect(),
+        )
+    }
+
+    /// Publishes (or re-publishes) `info`, stamping a fresh TTL. Returns the
+    /// storage position.
+    pub fn publish(&mut self, info: NodeInfo, now: SimTime, config: &SoftStateConfig) -> Point {
+        // A node's coordinates can change between publishes; drop the entry
+        // under its previous landmark number first.
+        if let Some(&old) = self.by_node.get(&info.node) {
+            if old != info.number.value() {
+                self.entries.remove(&(old, info.node));
+            }
+        }
+        let position = self.position_for(info.number, config);
+        let key = (info.number.value(), info.node);
+        self.by_node.insert(info.node, info.number.value());
+        self.entries.insert(
+            key,
+            SoftStateEntry {
+                info,
+                position: position.clone(),
+                expires_at: now + config.ttl(),
+            },
+        );
+        position
+    }
+
+    /// Removes the entry of `node`, returning whether one existed.
+    pub fn remove(&mut self, node: OverlayNodeId) -> bool {
+        match self.by_node.remove(&node) {
+            Some(number) => self.entries.remove(&(number, node)).is_some(),
+            None => false,
+        }
+    }
+
+    /// Drops entries that have lapsed by `now`; returns how many.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        let by_node = &mut self.by_node;
+        self.entries.retain(|_, e| {
+            let live = e.is_live(now);
+            if !live {
+                by_node.remove(&e.info.node);
+            }
+            live
+        });
+        before - self.entries.len()
+    }
+
+    /// Re-stamps the TTL of `node`'s entry; returns whether it existed.
+    pub fn refresh(&mut self, node: OverlayNodeId, now: SimTime, config: &SoftStateConfig) -> bool {
+        let Some(&number) = self.by_node.get(&node) else {
+            return false;
+        };
+        match self.entries.get_mut(&(number, node)) {
+            Some(e) => {
+                e.refresh(now, config.ttl());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The Table-1 lookup: starting from the query's landmark number, scan
+    /// outward along the curve (up to `overscan` entries per side — the
+    /// paper's "TTL to search outside y's map content range"), rank the live
+    /// candidates by full-landmark-vector distance, and return up to `max`.
+    pub fn lookup(
+        &self,
+        query: &LandmarkVector,
+        number: LandmarkNumber,
+        max: usize,
+        overscan: usize,
+        now: SimTime,
+    ) -> Vec<NodeInfo> {
+        let pivot = (number.value(), OverlayNodeId(0));
+        let mut candidates: Vec<&SoftStateEntry> = Vec::new();
+        candidates.extend(
+            self.entries
+                .range(pivot..)
+                .take(overscan)
+                .map(|(_, e)| e)
+                .filter(|e| e.is_live(now)),
+        );
+        candidates.extend(
+            self.entries
+                .range(..pivot)
+                .rev()
+                .take(overscan)
+                .map(|(_, e)| e)
+                .filter(|e| e.is_live(now)),
+        );
+        candidates.sort_by(|a, b| {
+            let da = query.euclidean_ms(&a.info.vector);
+            let db = query.euclidean_ms(&b.info.vector);
+            da.partial_cmp(&db)
+                .expect("distances are finite")
+                .then(a.info.node.cmp(&b.info.node))
+        });
+        candidates
+            .into_iter()
+            .take(max)
+            .map(|e| e.info.clone())
+            .collect()
+    }
+
+    /// Iterates over live entries.
+    pub fn live_entries(&self, now: SimTime) -> impl Iterator<Item = &SoftStateEntry> {
+        self.entries.values().filter(move |e| e.is_live(now))
+    }
+
+    /// Iterates over all entries, live or stale.
+    pub fn entries(&self) -> impl Iterator<Item = &SoftStateEntry> {
+        self.entries.values()
+    }
+
+    /// Counts this map's entries per hosting overlay node (the owner of
+    /// each entry's position in `can`).
+    pub fn entries_per_host(
+        &self,
+        can: &CanOverlay,
+    ) -> std::collections::HashMap<OverlayNodeId, usize> {
+        let mut hosts = std::collections::HashMap::new();
+        for e in self.entries.values() {
+            *hosts.entry(can.owner(&e.position)).or_insert(0) += 1;
+        }
+        hosts
+    }
+}
+
+/// The sub-box of `region` holding its map: per-axis extents scaled by
+/// `rate^(1/d)` so the volume ratio equals the condense rate, anchored at
+/// the region's lower corner (the grid "owned by a" in the paper's fig. 9).
+fn condensed_box(region: &Zone, rate: f64) -> Zone {
+    debug_assert!(rate > 0.0 && rate <= 1.0);
+    if rate == 1.0 {
+        return region.clone();
+    }
+    let d = region.dims();
+    let scale = rate.powf(1.0 / d as f64);
+    let lo: Vec<f64> = (0..d).map(|a| region.lo(a)).collect();
+    let hi: Vec<f64> = (0..d)
+        .map(|a| region.lo(a) + region.extent(a) * scale)
+        .collect();
+    Zone::from_bounds(lo, hi).expect("condensed box is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tao_landmark::LandmarkGrid;
+    use tao_sim::SimDuration;
+    use tao_topology::NodeIdx;
+
+    fn config() -> SoftStateConfig {
+        let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
+        SoftStateConfig::builder(grid).build()
+    }
+
+    fn info(id: u32, millis: [f64; 3], config: &SoftStateConfig) -> NodeInfo {
+        let vector = LandmarkVector::from_millis(&millis);
+        let number = config.grid().landmark_number(&vector, config.curve());
+        NodeInfo {
+            node: OverlayNodeId(id),
+            underlay: NodeIdx(id),
+            vector,
+            number,
+            load: None,
+        }
+    }
+
+    #[test]
+    fn zone_keys_distinguish_zones_exactly() {
+        let whole = Zone::whole(2);
+        let (l, r) = whole.split(0);
+        assert_eq!(ZoneKey::from_zone(&l), ZoneKey::from_zone(&l.clone()));
+        assert_ne!(ZoneKey::from_zone(&l), ZoneKey::from_zone(&r));
+        assert_ne!(ZoneKey::from_zone(&l), ZoneKey::from_zone(&whole));
+    }
+
+    #[test]
+    fn condensed_box_has_rate_volume() {
+        let region = Zone::whole(2);
+        let c = condensed_box(&region, 0.25);
+        assert!((c.volume() - 0.25).abs() < 1e-9);
+        assert!(region.contains_zone(&c));
+        assert_eq!(condensed_box(&region, 1.0), region);
+    }
+
+    #[test]
+    fn positions_stay_inside_the_condensed_box() {
+        let cfg = config();
+        let map = ZoneMap::new(Zone::whole(2), &cfg);
+        for raw in [0u128, 99, 5_000, 32_767] {
+            let p = map.position_for(LandmarkNumber::new(raw), &cfg);
+            assert!(
+                map.condensed().contains(&p),
+                "position {p} escaped the condensed box"
+            );
+        }
+    }
+
+    #[test]
+    fn close_numbers_store_close_positions() {
+        let cfg = config();
+        let map = ZoneMap::new(Zone::whole(2), &cfg);
+        let a = map.position_for(LandmarkNumber::new(1_000), &cfg);
+        let b = map.position_for(LandmarkNumber::new(1_001), &cfg);
+        let far = map.position_for(LandmarkNumber::new(20_000), &cfg);
+        assert!(a.torus_distance(&b) <= a.torus_distance(&far));
+    }
+
+    #[test]
+    fn publish_lookup_returns_nearest_by_vector() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        let near = info(1, [10.0, 40.0, 90.0], &cfg);
+        let mid = info(2, [30.0, 60.0, 110.0], &cfg);
+        let far = info(3, [300.0, 310.0, 305.0], &cfg);
+        for i in [&near, &mid, &far] {
+            map.publish(i.clone(), SimTime::ORIGIN, &cfg);
+        }
+        let query = LandmarkVector::from_millis(&[12.0, 41.0, 88.0]);
+        let qn = cfg.grid().landmark_number(&query, cfg.curve());
+        let found = map.lookup(&query, qn, 2, 32, SimTime::ORIGIN);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].node, OverlayNodeId(1));
+        assert_eq!(found[1].node, OverlayNodeId(2));
+    }
+
+    #[test]
+    fn expired_entries_disappear_from_lookups() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        let i = info(1, [10.0, 40.0, 90.0], &cfg);
+        map.publish(i.clone(), SimTime::ORIGIN, &cfg);
+        let after_ttl = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_micros(1);
+        assert!(map
+            .lookup(&i.vector, i.number, 5, 32, after_ttl)
+            .is_empty());
+        assert_eq!(map.expire(after_ttl), 1);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn refresh_extends_lifetime() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        let i = info(1, [10.0, 40.0, 90.0], &cfg);
+        map.publish(i.clone(), SimTime::ORIGIN, &cfg);
+        let half = SimTime::ORIGIN + cfg.ttl() / 2;
+        assert!(map.refresh(OverlayNodeId(1), half, &cfg));
+        let past_original = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_secs(1);
+        assert_eq!(map.lookup(&i.vector, i.number, 5, 32, past_original).len(), 1);
+        assert!(!map.refresh(OverlayNodeId(9), half, &cfg));
+    }
+
+    #[test]
+    fn remove_deletes_all_entries_of_a_node() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        map.publish(info(1, [10.0, 40.0, 90.0], &cfg), SimTime::ORIGIN, &cfg);
+        assert!(map.remove(OverlayNodeId(1)));
+        assert!(!map.remove(OverlayNodeId(1)));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn overscan_bounds_the_search_window() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        // Publish 20 nodes spread across the landmark space.
+        for i in 0..20u32 {
+            let base = 10.0 + i as f64 * 15.0;
+            map.publish(
+                info(i, [base, base + 5.0, base + 10.0], &cfg),
+                SimTime::ORIGIN,
+                &cfg,
+            );
+        }
+        let query = LandmarkVector::from_millis(&[10.0, 15.0, 20.0]);
+        let qn = cfg.grid().landmark_number(&query, cfg.curve());
+        // overscan=1 examines at most 2 entries total.
+        let narrow = map.lookup(&query, qn, 10, 1, SimTime::ORIGIN);
+        assert!(narrow.len() <= 2);
+        let wide = map.lookup(&query, qn, 10, 32, SimTime::ORIGIN);
+        assert_eq!(wide.len(), 10);
+    }
+
+    #[test]
+    fn republish_updates_in_place() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        let i = info(1, [10.0, 40.0, 90.0], &cfg);
+        map.publish(i.clone(), SimTime::ORIGIN, &cfg);
+        map.publish(i, SimTime::ORIGIN + SimDuration::from_secs(1), &cfg);
+        assert_eq!(map.len(), 1, "same node re-publishing must not duplicate");
+    }
+}

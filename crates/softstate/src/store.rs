@@ -1,0 +1,326 @@
+//! The global state: every region's map, taken together.
+//!
+//! Publishing a node writes its [`NodeInfo`] into the map of *every*
+//! high-order zone that encloses its CAN zone (§5.1: "each node will appear
+//! in a maximum of log(N) such maps"). Lookups name a target region and run
+//! the Table-1 procedure against that region's map.
+
+use std::collections::HashMap;
+
+use tao_overlay::ecan::EcanOverlay;
+use tao_overlay::{CanOverlay, OverlayNodeId, Zone};
+use tao_sim::SimTime;
+
+use crate::config::SoftStateConfig;
+use crate::entry::NodeInfo;
+use crate::map::{ZoneKey, ZoneMap};
+
+/// All per-region proximity maps of one overlay.
+///
+/// # Example
+///
+/// See the [crate documentation](crate) and the `global_state_lookup`
+/// integration test.
+#[derive(Debug, Clone)]
+pub struct GlobalState {
+    config: SoftStateConfig,
+    maps: HashMap<ZoneKey, ZoneMap>,
+}
+
+impl GlobalState {
+    /// Creates an empty global state.
+    pub fn new(config: SoftStateConfig) -> Self {
+        GlobalState {
+            config,
+            maps: HashMap::new(),
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &SoftStateConfig {
+        &self.config
+    }
+
+    /// Number of region maps that exist so far.
+    pub fn map_count(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Total entries across all maps (live or stale).
+    pub fn total_entries(&self) -> usize {
+        self.maps.values().map(ZoneMap::len).sum()
+    }
+
+    /// The map for `region`, if any node has published into it.
+    pub fn map(&self, region: &Zone) -> Option<&ZoneMap> {
+        self.maps.get(&ZoneKey::from_zone(region))
+    }
+
+    /// Publishes `info` into the map of every high-order zone enclosing its
+    /// node's CAN zone in `ecan`. Returns how many maps were written — the
+    /// message cost of one publish round.
+    pub fn publish(&mut self, info: NodeInfo, ecan: &EcanOverlay, now: SimTime) -> usize {
+        let regions = ecan.enclosing_high_order_zones(info.node);
+        let written = regions.len();
+        for region in regions {
+            let key = ZoneKey::from_zone(&region);
+            let map = self
+                .maps
+                .entry(key)
+                .or_insert_with(|| ZoneMap::new(region, &self.config));
+            map.publish(info.clone(), now, &self.config);
+        }
+        written
+    }
+
+    /// Removes every entry of `node` (proactive departure, §5.2). Returns
+    /// the number of maps touched.
+    pub fn remove(&mut self, node: OverlayNodeId) -> usize {
+        self.maps
+            .values_mut()
+            .map(|m| m.remove(node) as usize)
+            .sum()
+    }
+
+    /// Refreshes `node`'s TTLs in every map that lists it. Returns the
+    /// number of maps touched.
+    pub fn refresh(&mut self, node: OverlayNodeId, now: SimTime) -> usize {
+        let config = self.config;
+        self.maps
+            .values_mut()
+            .map(|m| m.refresh(node, now, &config) as usize)
+            .sum()
+    }
+
+    /// Expires lapsed entries everywhere; returns how many were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        self.maps.values_mut().map(|m| m.expire(now)).sum()
+    }
+
+    /// Looks up, in `region`'s map, up to `max` nodes whose landmark vectors
+    /// are closest to `query` — the Table-1 procedure. Returns an empty list
+    /// if the region has no map yet.
+    pub fn lookup_in(
+        &self,
+        region: &Zone,
+        query: &NodeInfo,
+        max: usize,
+        overscan: usize,
+        now: SimTime,
+    ) -> Vec<NodeInfo> {
+        match self.map(region) {
+            Some(map) => {
+                let mut found = map.lookup(&query.vector, query.number, max, overscan, now);
+                // Never hand a node back itself as a candidate.
+                found.retain(|i| i.node != query.node);
+                found
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The distributed lookup of Table 1: hash the query's landmark number
+    /// to its position `p'` in `region`, route to the overlay node hosting
+    /// `p'`, and consider only the map entries *that host actually stores*.
+    /// If fewer than `max` candidates live there, widen the search to the
+    /// host's CAN neighbors (the paper's "define a TTL to search outside
+    /// y's map content range"). Candidates are ranked by full
+    /// landmark-vector distance.
+    ///
+    /// This is the faithful model of the condense rate: spreading a map
+    /// thin (rate → 1) leaves each host a small fragment and lookups see
+    /// fewer candidates; condensing concentrates the map so the landing
+    /// host answers with more of it.
+    pub fn lookup_in_hosted(
+        &self,
+        region: &Zone,
+        query: &NodeInfo,
+        max: usize,
+        can: &CanOverlay,
+        now: SimTime,
+    ) -> Vec<NodeInfo> {
+        let Some(map) = self.map(region) else {
+            return Vec::new();
+        };
+        let landing = map.position_for(query.number, &self.config);
+        let host = can.owner(&landing);
+        let mut hosts: Vec<OverlayNodeId> = vec![host];
+        let mut candidates: Vec<&crate::entry::SoftStateEntry> = Vec::new();
+        let mut widened = false;
+        loop {
+            candidates.clear();
+            candidates.extend(map.live_entries(now).filter(|e| {
+                e.info.node != query.node && hosts.contains(&can.owner(&e.position))
+            }));
+            if candidates.len() >= max || widened {
+                break;
+            }
+            // TTL widening: one ring of CAN neighbors around the host.
+            if let Ok(neighbors) = can.neighbors(host) {
+                hosts.extend(neighbors);
+            }
+            widened = true;
+        }
+        candidates.sort_by(|a, b| {
+            let da = query.vector.euclidean_ms(&a.info.vector);
+            let db = query.vector.euclidean_ms(&b.info.vector);
+            da.partial_cmp(&db)
+                .expect("distances are finite")
+                .then(a.info.node.cmp(&b.info.node))
+        });
+        candidates
+            .into_iter()
+            .take(max)
+            .map(|e| e.info.clone())
+            .collect()
+    }
+
+    /// Mean map entries among nodes that host at least one entry — the
+    /// quantity figure 16 plots against the condense rate.
+    pub fn mean_entries_per_hosting_node(&self, can: &CanOverlay) -> f64 {
+        let totals = self.entries_per_host(can);
+        let hosting: Vec<usize> = totals.values().copied().filter(|&c| c > 0).collect();
+        if hosting.is_empty() {
+            return 0.0;
+        }
+        hosting.iter().sum::<usize>() as f64 / hosting.len() as f64
+    }
+
+    /// Per-node hosting burden: how many map entries each overlay node
+    /// stores (figure 16's dashed line). Nodes hosting nothing are included
+    /// with zero so averages are honest.
+    pub fn entries_per_host(&self, can: &CanOverlay) -> HashMap<OverlayNodeId, usize> {
+        let mut totals: HashMap<OverlayNodeId, usize> =
+            can.live_nodes().map(|id| (id, 0)).collect();
+        for map in self.maps.values() {
+            for (host, count) in map.entries_per_host(can) {
+                *totals.entry(host).or_insert(0) += count;
+            }
+        }
+        totals
+    }
+
+    /// Mean map entries per live node.
+    pub fn mean_entries_per_host(&self, can: &CanOverlay) -> f64 {
+        let totals = self.entries_per_host(can);
+        if totals.is_empty() {
+            return 0.0;
+        }
+        totals.values().sum::<usize>() as f64 / totals.len() as f64
+    }
+
+    /// Iterates over `(region, map)` pairs.
+    pub fn maps(&self) -> impl Iterator<Item = &ZoneMap> {
+        self.maps.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::NodeInfo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tao_landmark::{LandmarkGrid, LandmarkVector};
+    use tao_overlay::ecan::RandomSelector;
+    use tao_overlay::Point;
+    use tao_sim::SimDuration;
+    use tao_topology::NodeIdx;
+
+    fn setup(n: u32) -> (EcanOverlay, GlobalState) {
+        let mut can = CanOverlay::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for i in 0..n {
+            can.join(NodeIdx(i), Point::random(2, &mut rng));
+        }
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(1));
+        let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
+        let config = SoftStateConfig::builder(grid).build();
+        (ecan, GlobalState::new(config))
+    }
+
+    fn info_for(state: &GlobalState, id: u32, millis: [f64; 3]) -> NodeInfo {
+        let vector = LandmarkVector::from_millis(&millis);
+        let number = state
+            .config()
+            .grid()
+            .landmark_number(&vector, state.config().curve());
+        NodeInfo {
+            node: OverlayNodeId(id),
+            underlay: NodeIdx(id),
+            vector,
+            number,
+            load: None,
+        }
+    }
+
+    #[test]
+    fn publish_writes_at_most_log_n_maps() {
+        let (ecan, mut state) = setup(128);
+        let info = info_for(&state, 5, [10.0, 50.0, 90.0]);
+        let written = state.publish(info, &ecan, SimTime::ORIGIN);
+        assert!(written >= 1, "a 128-node overlay has high-order zones");
+        assert!(written <= 10, "must stay logarithmic, wrote {written}");
+        assert_eq!(state.map_count(), written);
+    }
+
+    #[test]
+    fn lookup_finds_published_neighbors_and_excludes_self() {
+        let (ecan, mut state) = setup(128);
+        let a = info_for(&state, 1, [10.0, 50.0, 90.0]);
+        let b = info_for(&state, 2, [12.0, 52.0, 88.0]);
+        state.publish(a.clone(), &ecan, SimTime::ORIGIN);
+        state.publish(b.clone(), &ecan, SimTime::ORIGIN);
+        // Query in the highest-order zone that contains node 1.
+        let regions = ecan.enclosing_high_order_zones(a.node);
+        let top = regions.last().expect("node has high-order zones");
+        let found = state.lookup_in(top, &a, 5, 32, SimTime::ORIGIN);
+        assert!(found.iter().all(|i| i.node != a.node), "no self-candidate");
+        // b may or may not share this region; the call must not error.
+        let _ = found;
+    }
+
+    #[test]
+    fn remove_and_refresh_touch_every_relevant_map() {
+        let (ecan, mut state) = setup(128);
+        let info = info_for(&state, 3, [30.0, 60.0, 120.0]);
+        let written = state.publish(info, &ecan, SimTime::ORIGIN);
+        let refreshed = state.refresh(OverlayNodeId(3), SimTime::ORIGIN);
+        assert_eq!(refreshed, written);
+        let removed = state.remove(OverlayNodeId(3));
+        assert_eq!(removed, written);
+        assert_eq!(state.total_entries(), 0);
+    }
+
+    #[test]
+    fn expire_sweeps_all_maps() {
+        let (ecan, mut state) = setup(64);
+        let info = info_for(&state, 4, [20.0, 40.0, 60.0]);
+        let written = state.publish(info, &ecan, SimTime::ORIGIN);
+        let later = SimTime::ORIGIN + state.config().ttl() + SimDuration::from_secs(1);
+        assert_eq!(state.expire(later), written);
+    }
+
+    #[test]
+    fn entries_per_host_covers_all_live_nodes() {
+        let (ecan, mut state) = setup(64);
+        for i in 0..64u32 {
+            let info = info_for(&state, i, [10.0 + i as f64, 50.0, 90.0]);
+            state.publish(info, &ecan, SimTime::ORIGIN);
+        }
+        let hosts = state.entries_per_host(ecan.can());
+        assert_eq!(hosts.len(), 64);
+        let total: usize = hosts.values().sum();
+        assert_eq!(total, state.total_entries());
+        assert!(state.mean_entries_per_host(ecan.can()) > 0.0);
+    }
+
+    #[test]
+    fn missing_region_lookup_is_empty() {
+        let (_, state) = setup(16);
+        let q = info_for(&state, 0, [10.0, 20.0, 30.0]);
+        assert!(state
+            .lookup_in(&Zone::whole(2), &q, 5, 32, SimTime::ORIGIN)
+            .is_empty());
+    }
+}

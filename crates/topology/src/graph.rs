@@ -1,0 +1,303 @@
+//! The router graph: undirected, weighted with [`SimDuration`] latencies,
+//! with transit/stub labels on nodes and link classes on edges.
+
+use std::fmt;
+
+use tao_sim::SimDuration;
+
+/// Index of a router in a [`Graph`]. Dense, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The index as a `usize`, for slice addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The role of a router in a transit-stub topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Backbone router inside a transit domain.
+    Transit {
+        /// Which transit domain the router belongs to.
+        domain: u32,
+    },
+    /// Edge router inside a stub domain.
+    Stub {
+        /// Which stub domain the router belongs to (dense over all stubs).
+        domain: u32,
+    },
+}
+
+impl NodeKind {
+    /// `true` for transit (backbone) routers.
+    pub fn is_transit(self) -> bool {
+        matches!(self, NodeKind::Transit { .. })
+    }
+
+    /// `true` for stub (edge) routers.
+    pub fn is_stub(self) -> bool {
+        matches!(self, NodeKind::Stub { .. })
+    }
+}
+
+/// The class of a link, which determines its latency under the paper's
+/// "manual" latency assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeClass {
+    /// Link between two transit domains (long-haul backbone).
+    CrossTransit,
+    /// Link between two routers of the same transit domain.
+    IntraTransit,
+    /// Access link between a transit router and a stub router.
+    TransitStub,
+    /// Link between two routers of the same stub domain.
+    IntraStub,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: NodeIdx,
+    latency: SimDuration,
+    class: EdgeClass,
+}
+
+/// An undirected router graph with latency-weighted edges.
+///
+/// # Example
+///
+/// ```
+/// use tao_topology::{EdgeClass, Graph, NodeKind};
+/// use tao_sim::SimDuration;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node(NodeKind::Transit { domain: 0 });
+/// let b = g.add_node(NodeKind::Stub { domain: 0 });
+/// g.add_edge(a, b, SimDuration::from_millis(2), EdgeClass::TransitStub);
+/// assert_eq!(g.degree(a), 1);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    kinds: Vec<NodeKind>,
+    adj: Vec<Vec<Edge>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a router of the given kind; returns its index.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeIdx {
+        let idx = NodeIdx(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.adj.push(Vec::new());
+        idx
+    }
+
+    /// Adds an undirected edge. Parallel edges are permitted but the
+    /// generator never creates them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or if `a == b` (self-loop).
+    pub fn add_edge(&mut self, a: NodeIdx, b: NodeIdx, latency: SimDuration, class: EdgeClass) {
+        assert!(a.index() < self.adj.len(), "node {a} out of range");
+        assert!(b.index() < self.adj.len(), "node {b} out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        self.adj[a.index()].push(Edge { to: b, latency, class });
+        self.adj[b.index()].push(Edge { to: a, latency, class });
+        self.edge_count += 1;
+    }
+
+    /// `true` if an edge between `a` and `b` already exists.
+    pub fn has_edge(&self, a: NodeIdx, b: NodeIdx) -> bool {
+        self.adj
+            .get(a.index())
+            .is_some_and(|es| es.iter().any(|e| e.to == b))
+    }
+
+    /// Number of routers.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The kind of router `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn kind(&self, n: NodeIdx) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// Degree (number of incident edges) of router `n`.
+    pub fn degree(&self, n: NodeIdx) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Iterates over `(neighbor, latency, class)` triples of router `n`.
+    pub fn neighbors(
+        &self,
+        n: NodeIdx,
+    ) -> impl Iterator<Item = (NodeIdx, SimDuration, EdgeClass)> + '_ {
+        self.adj[n.index()].iter().map(|e| (e.to, e.latency, e.class))
+    }
+
+    /// Iterates over all node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeIdx> {
+        (0..self.kinds.len() as u32).map(NodeIdx)
+    }
+
+    /// Indices of all transit routers.
+    pub fn transit_nodes(&self) -> Vec<NodeIdx> {
+        self.nodes().filter(|&n| self.kind(n).is_transit()).collect()
+    }
+
+    /// Indices of all stub routers.
+    pub fn stub_nodes(&self) -> Vec<NodeIdx> {
+        self.nodes().filter(|&n| self.kind(n).is_stub()).collect()
+    }
+
+    /// `true` if every router can reach every other (BFS from node 0).
+    /// An empty graph counts as connected.
+    pub fn is_connected(&self) -> bool {
+        if self.kinds.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.kinds.len()];
+        let mut stack = vec![NodeIdx(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for e in &self.adj[n.index()] {
+                if !seen[e.to.index()] {
+                    seen[e.to.index()] = true;
+                    count += 1;
+                    stack.push(e.to);
+                }
+            }
+        }
+        count == self.kinds.len()
+    }
+
+    /// Overwrites every edge latency via `f(class, current)`.
+    ///
+    /// Used by [`LatencyAssignment`](crate::LatencyAssignment) to re-weight
+    /// an already-built graph.
+    pub fn reassign_latencies(&mut self, mut f: impl FnMut(EdgeClass, SimDuration) -> SimDuration) {
+        // Visit each undirected edge once (from the lower endpoint), then
+        // mirror the new weight onto the reverse half-edge.
+        for a in 0..self.adj.len() {
+            // Split borrows: collect updates for edges whose reverse lives in
+            // a later (or same) adjacency list.
+            let updates: Vec<(usize, NodeIdx, SimDuration)> = self.adj[a]
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.to.index() >= a)
+                .map(|(i, e)| (i, e.to, f(e.class, e.latency)))
+                .collect();
+            for (i, to, lat) in updates {
+                self.adj[a][i].latency = lat;
+                for rev in &mut self.adj[to.index()] {
+                    if rev.to.index() == a {
+                        rev.latency = lat;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Transit { domain: 0 });
+        let b = g.add_node(NodeKind::Transit { domain: 0 });
+        let c = g.add_node(NodeKind::Stub { domain: 0 });
+        g.add_edge(a, b, SimDuration::from_millis(1), EdgeClass::IntraTransit);
+        g.add_edge(b, c, SimDuration::from_millis(2), EdgeClass::TransitStub);
+        g.add_edge(a, c, SimDuration::from_millis(3), EdgeClass::TransitStub);
+        g
+    }
+
+    #[test]
+    fn counts_nodes_and_edges() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeIdx(1)), 2);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        assert!(g.has_edge(NodeIdx(0), NodeIdx(2)));
+        assert!(g.has_edge(NodeIdx(2), NodeIdx(0)));
+        assert!(!g.has_edge(NodeIdx(0), NodeIdx(0)));
+    }
+
+    #[test]
+    fn kind_partitions() {
+        let g = triangle();
+        assert_eq!(g.transit_nodes(), vec![NodeIdx(0), NodeIdx(1)]);
+        assert_eq!(g.stub_nodes(), vec![NodeIdx(2)]);
+        assert!(g.kind(NodeIdx(0)).is_transit());
+        assert!(g.kind(NodeIdx(2)).is_stub());
+    }
+
+    #[test]
+    fn connectivity_detects_islands() {
+        let mut g = triangle();
+        assert!(g.is_connected());
+        g.add_node(NodeKind::Stub { domain: 1 });
+        assert!(!g.is_connected());
+        assert!(Graph::new().is_connected(), "empty graph is connected");
+    }
+
+    #[test]
+    fn reassign_latencies_updates_both_directions() {
+        let mut g = triangle();
+        g.reassign_latencies(|class, _| match class {
+            EdgeClass::IntraTransit => SimDuration::from_millis(10),
+            _ => SimDuration::from_millis(20),
+        });
+        let (_, lat, _) = g
+            .neighbors(NodeIdx(0))
+            .find(|(to, _, _)| *to == NodeIdx(1))
+            .unwrap();
+        assert_eq!(lat, SimDuration::from_millis(10));
+        let (_, lat_rev, _) = g
+            .neighbors(NodeIdx(1))
+            .find(|(to, _, _)| *to == NodeIdx(0))
+            .unwrap();
+        assert_eq!(lat_rev, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Transit { domain: 0 });
+        g.add_edge(a, a, SimDuration::ZERO, EdgeClass::IntraTransit);
+    }
+}

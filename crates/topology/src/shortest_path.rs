@@ -1,0 +1,287 @@
+//! Single-source shortest paths (Dijkstra) and a per-source cache.
+//!
+//! Every "RTT" in the simulation is a shortest-path latency over the router
+//! graph — exactly what GT-ITM-based studies do. Experiments repeatedly ask
+//! for distances from the same sources (landmarks, query nodes), so
+//! [`SpCache`] memoises whole distance vectors per source; it is `Sync`, so
+//! parameter sweeps can share one cache across threads.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tao_sim::SimDuration;
+
+use crate::graph::{Graph, NodeIdx};
+
+/// Computes shortest-path latencies from `source` to every router.
+///
+/// Unreachable routers (impossible in generated topologies, which are
+/// connected) get [`SimDuration::MAX`].
+///
+/// # Example
+///
+/// ```
+/// use tao_topology::{shortest_paths, Graph, NodeIdx, NodeKind, EdgeClass};
+/// use tao_sim::SimDuration;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node(NodeKind::Transit { domain: 0 });
+/// let b = g.add_node(NodeKind::Transit { domain: 0 });
+/// let c = g.add_node(NodeKind::Stub { domain: 0 });
+/// g.add_edge(a, b, SimDuration::from_millis(10), EdgeClass::IntraTransit);
+/// g.add_edge(b, c, SimDuration::from_millis(1), EdgeClass::TransitStub);
+/// g.add_edge(a, c, SimDuration::from_millis(20), EdgeClass::TransitStub);
+///
+/// let d = shortest_paths(&g, a);
+/// assert_eq!(d[c.index()], SimDuration::from_millis(11)); // via b, not direct
+/// ```
+pub fn shortest_paths(graph: &Graph, source: NodeIdx) -> Vec<SimDuration> {
+    let n = graph.node_count();
+    assert!(source.index() < n, "source {source} out of range");
+    let mut dist = vec![SimDuration::MAX; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(SimDuration, NodeIdx)>> = BinaryHeap::new();
+    dist[source.index()] = SimDuration::ZERO;
+    heap.push(Reverse((SimDuration::ZERO, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (v, w, _) in graph.neighbors(u) {
+            if done[v.index()] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// A thread-safe per-source cache of shortest-path vectors.
+///
+/// # Example
+///
+/// ```
+/// use tao_topology::{generate_transit_stub, LatencyAssignment, NodeIdx, SpCache,
+///                    TransitStubParams};
+///
+/// let topo = generate_transit_stub(
+///     &TransitStubParams::tsk_small_mini(), LatencyAssignment::manual(), 7);
+/// let cache = SpCache::new();
+/// let d1 = cache.distances(topo.graph(), NodeIdx(0));
+/// let d2 = cache.distances(topo.graph(), NodeIdx(0));
+/// assert!(std::sync::Arc::ptr_eq(&d1, &d2)); // second call is a cache hit
+/// ```
+#[derive(Debug)]
+pub struct SpCache {
+    inner: RwLock<HashMap<NodeIdx, Arc<Vec<SimDuration>>>>,
+    capacity: usize,
+}
+
+impl Default for SpCache {
+    fn default() -> Self {
+        SpCache::new()
+    }
+}
+
+impl SpCache {
+    /// Creates an empty cache with the default capacity (8192 sources).
+    pub fn new() -> Self {
+        SpCache::with_capacity(8192)
+    }
+
+    /// Creates an empty cache bounded to `capacity` source vectors. When the
+    /// bound is exceeded the cache is flushed wholesale (vectors are cheap
+    /// to recompute; an eviction policy is not worth its bookkeeping here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be at least 1");
+        SpCache {
+            inner: RwLock::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// Returns the distance vector from `source`, computing it on first use.
+    pub fn distances(&self, graph: &Graph, source: NodeIdx) -> Arc<Vec<SimDuration>> {
+        if let Some(hit) = self.inner.read().get(&source) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(shortest_paths(graph, source));
+        let mut w = self.inner.write();
+        if w.len() >= self.capacity {
+            w.clear();
+        }
+        Arc::clone(w.entry(source).or_insert(computed))
+    }
+
+    /// The latency from `a` to `b` (symmetric). Prefers whichever endpoint
+    /// is already cached, so e.g. measuring many nodes against a fixed
+    /// landmark set costs one Dijkstra per landmark, not one per node.
+    pub fn distance(&self, graph: &Graph, a: NodeIdx, b: NodeIdx) -> SimDuration {
+        {
+            let r = self.inner.read();
+            if let Some(v) = r.get(&a) {
+                return v[b.index()];
+            }
+            if let Some(v) = r.get(&b) {
+                return v[a.index()];
+            }
+        }
+        self.distances(graph, a)[b.index()]
+    }
+
+    /// Number of cached source vectors.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Drops all cached vectors.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeClass, NodeKind};
+    use crate::latency::LatencyAssignment;
+    use crate::transit_stub::{generate_transit_stub, TransitStubParams};
+
+    fn line_graph(weights: &[u64]) -> Graph {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeIdx> = (0..=weights.len())
+            .map(|_| g.add_node(NodeKind::Stub { domain: 0 }))
+            .collect();
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(
+                nodes[i],
+                nodes[i + 1],
+                SimDuration::from_millis(w),
+                EdgeClass::IntraStub,
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn distances_accumulate_along_a_line() {
+        let g = line_graph(&[1, 2, 3]);
+        let d = shortest_paths(&g, NodeIdx(0));
+        assert_eq!(d[0], SimDuration::ZERO);
+        assert_eq!(d[1], SimDuration::from_millis(1));
+        assert_eq!(d[2], SimDuration::from_millis(3));
+        assert_eq!(d[3], SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn takes_the_cheaper_route() {
+        let mut g = line_graph(&[1, 1]);
+        // Add a direct but expensive shortcut 0 -> 2.
+        g.add_edge(
+            NodeIdx(0),
+            NodeIdx(2),
+            SimDuration::from_millis(10),
+            EdgeClass::IntraStub,
+        );
+        let d = shortest_paths(&g, NodeIdx(0));
+        assert_eq!(d[2], SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn unreachable_nodes_get_max() {
+        let mut g = line_graph(&[1]);
+        g.add_node(NodeKind::Stub { domain: 9 });
+        let d = shortest_paths(&g, NodeIdx(0));
+        assert_eq!(d[2], SimDuration::MAX);
+    }
+
+    #[test]
+    fn symmetric_on_undirected_graphs() {
+        let p = TransitStubParams::tsk_small_mini();
+        let t = generate_transit_stub(&p, LatencyAssignment::gt_itm(), 3);
+        let d0 = shortest_paths(t.graph(), NodeIdx(0));
+        let d9 = shortest_paths(t.graph(), NodeIdx(9));
+        assert_eq!(d0[9], d9[0]);
+    }
+
+    #[test]
+    fn cache_hits_share_allocation_and_count() {
+        let g = line_graph(&[1, 2]);
+        let cache = SpCache::new();
+        assert!(cache.is_empty());
+        let a = cache.distances(&g, NodeIdx(1));
+        let b = cache.distances(&g, NodeIdx(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.distance(&g, NodeIdx(1), NodeIdx(2)),
+            SimDuration::from_millis(2)
+        );
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_flushes_instead_of_growing() {
+        let g = line_graph(&[1, 2, 3]);
+        let cache = SpCache::with_capacity(2);
+        cache.distances(&g, NodeIdx(0));
+        cache.distances(&g, NodeIdx(1));
+        assert_eq!(cache.len(), 2);
+        cache.distances(&g, NodeIdx(2));
+        assert_eq!(cache.len(), 1, "overflow flushes, then inserts");
+        // Answers stay correct after a flush.
+        assert_eq!(
+            cache.distance(&g, NodeIdx(0), NodeIdx(3)),
+            SimDuration::from_millis(6)
+        );
+    }
+
+    #[test]
+    fn distance_prefers_cached_endpoint() {
+        let g = line_graph(&[5]);
+        let cache = SpCache::new();
+        cache.distances(&g, NodeIdx(1));
+        assert_eq!(cache.len(), 1);
+        // Querying (0, 1) uses node 1's cached vector; no new entry appears.
+        assert_eq!(
+            cache.distance(&g, NodeIdx(0), NodeIdx(1)),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_can_fail_over_the_overlay_but_not_the_graph() {
+        // Shortest-path metrics always satisfy the triangle inequality;
+        // assert it on a generated topology as a sanity check of Dijkstra.
+        let p = TransitStubParams::tsk_small_mini();
+        let t = generate_transit_stub(&p, LatencyAssignment::gt_itm(), 5);
+        let a = NodeIdx(0);
+        let b = NodeIdx(50);
+        let c = NodeIdx(100);
+        let cache = SpCache::new();
+        let ab = cache.distance(t.graph(), a, b);
+        let bc = cache.distance(t.graph(), b, c);
+        let ac = cache.distance(t.graph(), a, c);
+        assert!(ac <= ab + bc);
+    }
+}

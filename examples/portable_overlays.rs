@@ -1,0 +1,80 @@
+//! One pipeline, three overlay families: the same landmark + soft-state
+//! machinery making eCAN, Chord, and Pastry topology-aware.
+//!
+//! ```sh
+//! cargo run --release --example portable_overlays
+//! ```
+//!
+//! The paper closes: "The techniques are generic for overlay networks such
+//! as Pastry, Chord, and eCAN, where there exists flexibility in selecting
+//! routing neighbors." This example builds all three on the *same* network
+//! and shows the identical win: global-soft-state selection lands near the
+//! ground-truth optimum on every family.
+
+use tao_core::chord_aware::ChordAware;
+use tao_core::pastry_aware::PastryAware;
+use tao_core::{ExperimentParams, SelectionStrategy, TaoBuilder};
+use tao_topology::{generate_transit_stub, LatencyAssignment, TransitStubParams};
+
+fn main() {
+    let topo = generate_transit_stub(
+        &TransitStubParams::tsk_large_mini(),
+        LatencyAssignment::manual(),
+        2003,
+    );
+    let params = ExperimentParams {
+        overlay_nodes: 256,
+        landmarks: 10,
+        rtt_budget: 10,
+        ..Default::default()
+    };
+    println!(
+        "network: {} routers; overlays of {} nodes; {} landmarks, X = {} probes\n",
+        topo.graph().node_count(),
+        params.overlay_nodes,
+        params.landmarks,
+        params.rtt_budget
+    );
+    println!("mean routing stretch (random -> soft-state -> optimal):");
+    let strategies = [
+        SelectionStrategy::Random,
+        SelectionStrategy::GlobalState,
+        SelectionStrategy::Optimal,
+    ];
+
+    // eCAN: zone maps keyed by Hilbert-hashed landmark numbers.
+    let ecan: Vec<f64> = strategies
+        .iter()
+        .map(|&selection| {
+            let mut b = TaoBuilder::new();
+            b.params(ExperimentParams { selection, ..params }).seed(7);
+            b.build_on(topo.clone()).measure_routing_stretch(512, 9).mean()
+        })
+        .collect();
+    println!("  eCAN   {:.2} -> {:.2} -> {:.2}", ecan[0], ecan[1], ecan[2]);
+
+    // Chord: records stored at their landmark number's ring successor.
+    let chord: Vec<f64> = strategies
+        .iter()
+        .map(|&selection| {
+            ChordAware::build(&topo, ExperimentParams { selection, ..params }, 7)
+                .measure_routing_stretch(512, 9)
+                .mean()
+        })
+        .collect();
+    println!("  Chord  {:.2} -> {:.2} -> {:.2}", chord[0], chord[1], chord[2]);
+
+    // Pastry: one map per nodeId prefix.
+    let pastry: Vec<f64> = strategies
+        .iter()
+        .map(|&selection| {
+            PastryAware::build(&topo, ExperimentParams { selection, ..params }, 7)
+                .measure_routing_stretch(512, 9)
+                .mean()
+        })
+        .collect();
+    println!("  Pastry {:.2} -> {:.2} -> {:.2}", pastry[0], pastry[1], pastry[2]);
+
+    println!("\nthe ordering random > soft-state >= optimal holds on every family —");
+    println!("the machinery is the paper's, only the region type changes.");
+}

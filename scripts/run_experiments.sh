@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper into results/.
+# Usage: scripts/run_experiments.sh [paper|mini]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export TAO_SCALE="${1:-paper}"
+cargo build --release -p tao-bench
+mkdir -p results
+for b in fig02_ecan_vs_can fig03_06_nearest_neighbor fig10_13_stretch_vs_rtts \
+         fig14_15_stretch_vs_nodes fig16_condense_rate sec1_tacan_imbalance \
+         sec52_pubsub_maintenance sec54_gap_breakdown sec6_load_aware \
+         ablation_sfc ablation_lvi generality related_coordinates join_cost sec54_optimizations; do
+  echo ">>> $b (TAO_SCALE=$TAO_SCALE)"
+  ./target/release/"$b" | tee "results/$b.txt"
+done

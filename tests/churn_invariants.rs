@@ -1,0 +1,158 @@
+//! Churn integration: overlay structure, soft-state, and routing stay
+//! consistent through interleaved joins and departures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tao_core::{SelectionStrategy, TaoBuilder};
+use tao_overlay::{CanOverlay, Point};
+use tao_sim::SimDuration;
+use tao_softstate::MaintenancePolicy;
+use tao_topology::{LatencyAssignment, NodeIdx, TransitStubParams};
+
+#[test]
+fn can_survives_heavy_interleaved_churn() {
+    let mut can = CanOverlay::new(2).expect("2-d CAN");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut live = Vec::new();
+    for i in 0..100u32 {
+        live.push(can.join(NodeIdx(i), Point::random(2, &mut rng)));
+    }
+    // 400 churn events: 50/50 join/leave, never dropping below 10 nodes.
+    let mut next_underlay = 100u32;
+    for step in 0..400 {
+        if rng.gen_bool(0.5) && can.len() > 10 {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            can.leave(victim).expect("victim is live");
+        } else {
+            live.push(can.join(NodeIdx(next_underlay), Point::random(2, &mut rng)));
+            next_underlay += 1;
+        }
+        if step % 50 == 0 {
+            can.check_invariants();
+        }
+    }
+    can.check_invariants();
+    // Routing still terminates at the owner from every live node.
+    for _ in 0..100 {
+        let src = live[rng.gen_range(0..live.len())];
+        let target = Point::random(2, &mut rng);
+        let route = can.route(src, &target).expect("routing succeeds");
+        assert_eq!(*route.hops.last().expect("non-empty"), can.owner(&target));
+    }
+}
+
+#[test]
+fn zone_coverage_is_preserved_through_churn() {
+    let mut can = CanOverlay::new(2).expect("2-d CAN");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut live = Vec::new();
+    for i in 0..64u32 {
+        live.push(can.join(NodeIdx(i), Point::random(2, &mut rng)));
+    }
+    for _ in 0..30 {
+        let victim = live.swap_remove(rng.gen_range(0..live.len()));
+        can.leave(victim).expect("victim is live");
+    }
+    // All owned zones still tile the space exactly.
+    let total: f64 = can
+        .live_nodes()
+        .map(|id| {
+            can.zones(id)
+                .expect("live node")
+                .iter()
+                .map(|z| z.volume())
+                .sum::<f64>()
+        })
+        .sum();
+    assert!((total - 1.0).abs() < 1e-9, "zones must tile, got {total}");
+    // And every random point has exactly one owner that really owns it.
+    for _ in 0..200 {
+        let p = Point::random(2, &mut rng);
+        let owner = can.owner(&p);
+        assert!(can
+            .zones(owner)
+            .expect("owner is live")
+            .iter()
+            .any(|z| z.contains(&p)));
+    }
+}
+
+#[test]
+fn full_system_recovers_after_churn_with_maintenance() {
+    let mut b = TaoBuilder::new();
+    b.topology(TransitStubParams::tsk_small_mini())
+        .latency(LatencyAssignment::manual())
+        .overlay_nodes(192)
+        .landmarks(8)
+        .selection(SelectionStrategy::GlobalState)
+        .seed(8);
+    let mut tao = b.build();
+    let before = tao.measure_routing_stretch(384, 2).mean();
+
+    let ttl = tao.state().config().ttl();
+    for v in tao.sample_overlay_nodes(40, 4) {
+        let now = tao.now();
+        MaintenancePolicy::ProactiveDeparture.apply_departure(tao.state_mut(), v, now, ttl);
+        tao.depart(v).expect("victim is live");
+        tao.advance(SimDuration::from_secs(5));
+    }
+    tao.reselect();
+    let after = tao.measure_routing_stretch(384, 2);
+    assert!(after.count() > 300, "routing must still mostly succeed");
+    // Churn hurts, but the system must stay in the same order of magnitude.
+    assert!(
+        after.mean() < before * 6.0,
+        "stretch exploded after churn: {before:.2} -> {:.2}",
+        after.mean()
+    );
+    // Departed nodes left no soft-state behind (proactive policy).
+    let live: std::collections::HashSet<_> = tao.ecan().can().live_nodes().collect();
+    for map in tao.state().maps() {
+        for e in map.entries() {
+            assert!(
+                live.contains(&e.info.node),
+                "stale entry for departed {}",
+                e.info.node
+            );
+        }
+    }
+}
+
+#[test]
+fn reactive_policy_leaves_stale_entries_until_ttl() {
+    let mut b = TaoBuilder::new();
+    b.topology(TransitStubParams::tsk_small_mini())
+        .latency(LatencyAssignment::manual())
+        .overlay_nodes(128)
+        .landmarks(6)
+        .seed(9);
+    let mut tao = b.build();
+    let ttl = tao.state().config().ttl();
+    let victims = tao.sample_overlay_nodes(10, 6);
+    for &v in &victims {
+        let now = tao.now();
+        MaintenancePolicy::Reactive.apply_departure(tao.state_mut(), v, now, ttl);
+        tao.depart(v).expect("victim is live");
+    }
+    // Entries linger...
+    let stale_now = victims
+        .iter()
+        .filter(|&&v| {
+            tao.state()
+                .maps()
+                .any(|m| m.entries().any(|e| e.info.node == v))
+        })
+        .count();
+    assert_eq!(stale_now, victims.len(), "reactive leaves all entries");
+    // ...until the TTL sweep.
+    tao.advance(ttl + SimDuration::from_secs(1));
+    let now = tao.now();
+    tao.state_mut().expire(now);
+    for v in victims {
+        assert!(
+            !tao.state().maps().any(|m| m.entries().any(|e| e.info.node == v)),
+            "{v} must be gone after TTL"
+        );
+    }
+}

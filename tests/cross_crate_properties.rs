@@ -1,0 +1,155 @@
+//! Property-based tests that span crate boundaries: landmark numbers vs
+//! physical distance, region positions vs map placement, overlay routing
+//! over arbitrary join sequences.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tao_landmark::{region_position, LandmarkGrid, LandmarkNumber, LandmarkVector, SpaceFillingCurve};
+use tao_overlay::{CanOverlay, Point, Zone};
+use tao_sim::SimDuration;
+use tao_topology::NodeIdx;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Landmark numbers from the same grid cell are identical; vectors in
+    /// cells far apart along every axis produce different numbers.
+    #[test]
+    fn landmark_numbers_respect_grid_cells(
+        a in proptest::collection::vec(0.0f64..300.0, 3),
+        jitter in proptest::collection::vec(0.0f64..0.5, 3),
+    ) {
+        let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).expect("valid grid");
+        let va = LandmarkVector::from_millis(&a);
+        // A sub-cell jitter (cells are 10 ms wide) cannot change the number
+        // unless the vector crosses a cell boundary; verify via cells.
+        let b: Vec<f64> = a.iter().zip(&jitter).map(|(x, j)| x + j).collect();
+        let vb = LandmarkVector::from_millis(&b);
+        if grid.cell(&va) == grid.cell(&vb) {
+            prop_assert_eq!(
+                grid.landmark_number(&va, SpaceFillingCurve::Hilbert),
+                grid.landmark_number(&vb, SpaceFillingCurve::Hilbert)
+            );
+        }
+    }
+
+    /// The region hash lands inside the unit box for any number/bits combo.
+    #[test]
+    fn region_positions_stay_in_bounds(
+        raw in any::<u64>(),
+        dims in 2usize..4,
+        resolution in 2u32..9,
+    ) {
+        let p = region_position(
+            LandmarkNumber::new(raw as u128),
+            64,
+            dims,
+            resolution,
+            SpaceFillingCurve::Hilbert,
+        );
+        prop_assert_eq!(p.len(), dims);
+        for x in p {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// For any join sequence, CAN routing from any node reaches the owner
+    /// of any target.
+    #[test]
+    fn routing_always_reaches_the_owner(
+        seed in any::<u64>(),
+        n in 2usize..40,
+        queries in proptest::collection::vec((any::<u64>(), any::<u64>()), 5),
+    ) {
+        let mut can = CanOverlay::new(2).expect("2-d CAN");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            can.join(NodeIdx(i as u32), Point::random(2, &mut rng));
+        }
+        let live: Vec<_> = can.live_nodes().collect();
+        for (qa, qb) in queries {
+            let src = live[(qa % live.len() as u64) as usize];
+            let target = Point::clamped(vec![
+                (qb % 10_000) as f64 / 10_000.0,
+                (qb / 10_000 % 10_000) as f64 / 10_000.0,
+            ]);
+            let route = can.route(src, &target).expect("routing succeeds");
+            prop_assert_eq!(*route.hops.last().expect("non-empty"), can.owner(&target));
+        }
+    }
+
+    /// Zone splitting preserves exact volume and containment at any depth.
+    #[test]
+    fn repeated_splits_partition_exactly(path in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let mut zone = Zone::whole(3);
+        for (depth, take_upper) in path.into_iter().enumerate() {
+            let axis = depth % 3;
+            let (lo, hi) = zone.split(axis);
+            prop_assert!((lo.volume() + hi.volume() - zone.volume()).abs() < 1e-15);
+            prop_assert!(zone.contains_zone(&lo) && zone.contains_zone(&hi));
+            prop_assert!(lo.is_neighbor(&hi));
+            zone = if take_upper { hi } else { lo };
+        }
+        prop_assert!(zone.volume() > 0.0);
+    }
+
+    /// The landmark ordering is always a permutation, and projecting the
+    /// vector preserves component values.
+    #[test]
+    fn orderings_are_permutations(ms in proptest::collection::vec(0.0f64..500.0, 1..12)) {
+        let v = LandmarkVector::from_millis(&ms);
+        let mut ord = v.ordering();
+        ord.sort_unstable();
+        prop_assert_eq!(ord, (0..ms.len()).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn landmark_locality_transfers_to_map_positions() {
+    // Deterministic cross-crate check: nodes in the same stub (physically
+    // close) receive closer map positions than nodes in different transit
+    // domains, on average.
+    use tao_topology::landmarks::{select_landmarks, LandmarkStrategy};
+    use tao_topology::{generate_transit_stub, LatencyAssignment, RttOracle, TransitStubParams};
+
+    let topo = generate_transit_stub(
+        &TransitStubParams::tsk_large_mini(),
+        LatencyAssignment::manual(),
+        31,
+    );
+    let oracle = RttOracle::new(topo.graph().clone());
+    let mut rng = StdRng::seed_from_u64(32);
+    let landmarks = select_landmarks(topo.graph(), 8, LandmarkStrategy::Random, &mut rng);
+    oracle.warm(&landmarks);
+    let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(600)).expect("valid grid");
+
+    let position = |n: NodeIdx| -> Vec<f64> {
+        let v = LandmarkVector::measure(n, &landmarks, &oracle);
+        let num = grid.landmark_number(&v, SpaceFillingCurve::Hilbert);
+        region_position(num, grid.number_bits(), 2, 8, SpaceFillingCurve::Hilbert)
+    };
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+
+    let mut same_stub = 0.0;
+    let mut cross_domain = 0.0;
+    let mut samples = 0;
+    for s in 0..topo.stub_domain_count().min(16) as u32 {
+        let members = topo.stub_members(s);
+        let pa = position(members[0]);
+        let pb = position(members[1]);
+        same_stub += dist(&pa, &pb);
+        // A node from a stub half the domains away.
+        let far_stub = (s + topo.stub_domain_count() as u32 / 2) % topo.stub_domain_count() as u32;
+        let pf = position(topo.stub_members(far_stub)[0]);
+        cross_domain += dist(&pa, &pf);
+        samples += 1;
+    }
+    assert!(samples >= 8);
+    assert!(
+        same_stub < cross_domain,
+        "same-stub map distance ({same_stub:.3}) should be below cross-domain ({cross_domain:.3})"
+    );
+}
