@@ -1,42 +1,40 @@
 //! Micro-benchmarks of the topology substrate: transit-stub generation,
 //! single-source Dijkstra, and cached RTT measurement on the mini presets.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tao_topology::{
-    generate_transit_stub, shortest_paths, LatencyAssignment, NodeIdx, RttOracle,
-    SpCache, TransitStubParams,
+    generate_transit_stub, shortest_paths, LatencyAssignment, NodeIdx, RttOracle, SpCache,
+    TransitStubParams,
 };
+use tao_util::bench::{bench_fn, black_box};
 
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("generate_tsk_large_mini", |b| {
-        b.iter(|| {
-            generate_transit_stub(
-                black_box(&TransitStubParams::tsk_large_mini()),
-                LatencyAssignment::manual(),
-                7,
-            )
-        })
+fn bench_generation() {
+    bench_fn("generate_tsk_large_mini", || {
+        black_box(generate_transit_stub(
+            black_box(&TransitStubParams::tsk_large_mini()),
+            LatencyAssignment::manual(),
+            7,
+        ));
     });
 }
 
-fn bench_dijkstra(c: &mut Criterion) {
+fn bench_dijkstra() {
     let topo = generate_transit_stub(
         &TransitStubParams::tsk_large_mini(),
         LatencyAssignment::gt_itm(),
         7,
     );
-    c.bench_function("dijkstra_mini_topology", |b| {
-        b.iter(|| shortest_paths(topo.graph(), black_box(NodeIdx(0))))
+    bench_fn("dijkstra_mini_topology", || {
+        black_box(shortest_paths(topo.graph(), black_box(NodeIdx(0))));
     });
 
     let cache = SpCache::new();
     cache.distances(topo.graph(), NodeIdx(0));
-    c.bench_function("cached_distance_lookup", |b| {
-        b.iter(|| cache.distance(topo.graph(), black_box(NodeIdx(0)), black_box(NodeIdx(900))))
+    bench_fn("cached_distance_lookup", || {
+        black_box(cache.distance(topo.graph(), black_box(NodeIdx(0)), black_box(NodeIdx(900))));
     });
 }
 
-fn bench_rtt_oracle(c: &mut Criterion) {
+fn bench_rtt_oracle() {
     let topo = generate_transit_stub(
         &TransitStubParams::tsk_small_mini(),
         LatencyAssignment::manual(),
@@ -44,10 +42,13 @@ fn bench_rtt_oracle(c: &mut Criterion) {
     );
     let oracle = RttOracle::new(topo.graph().clone());
     oracle.warm(&[NodeIdx(5)]);
-    c.bench_function("rtt_measure_warm", |b| {
-        b.iter(|| oracle.measure(black_box(NodeIdx(777)), black_box(NodeIdx(5))))
+    bench_fn("rtt_measure_warm", || {
+        black_box(oracle.measure(black_box(NodeIdx(777)), black_box(NodeIdx(5))));
     });
 }
 
-criterion_group!(benches, bench_generation, bench_dijkstra, bench_rtt_oracle);
-criterion_main!(benches);
+fn main() {
+    bench_generation();
+    bench_dijkstra();
+    bench_rtt_oracle();
+}

@@ -2,42 +2,42 @@
 //! Z-order encode/decode across dimensionalities, and the landmark-number
 //! pipeline (grid quantisation + curve).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tao_landmark::hilbert::HilbertCurve;
 use tao_landmark::zorder::MortonCurve;
 use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
 use tao_sim::SimDuration;
+use tao_util::bench::{bench_fn, black_box};
 
-fn bench_curves(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sfc");
+fn bench_curves() {
     for dims in [2usize, 3, 5, 8] {
         let h = HilbertCurve::new(dims, 8).expect("valid curve");
         let m = MortonCurve::new(dims, 8).expect("valid curve");
         let point: Vec<u32> = (0..dims as u32).map(|i| (i * 37) % 256).collect();
         let index = h.index(&point);
-        g.bench_function(format!("hilbert_index_d{dims}"), |b| {
-            b.iter(|| h.index(black_box(&point)))
+        bench_fn(&format!("sfc/hilbert_index_d{dims}"), || {
+            black_box(h.index(black_box(&point)));
         });
-        g.bench_function(format!("hilbert_point_d{dims}"), |b| {
-            b.iter(|| h.point(black_box(index)))
+        bench_fn(&format!("sfc/hilbert_point_d{dims}"), || {
+            black_box(h.point(black_box(index)));
         });
-        g.bench_function(format!("morton_index_d{dims}"), |b| {
-            b.iter(|| m.index(black_box(&point)))
+        bench_fn(&format!("sfc/morton_index_d{dims}"), || {
+            black_box(m.index(black_box(&point)));
         });
     }
-    g.finish();
 }
 
-fn bench_landmark_number(c: &mut Criterion) {
+fn bench_landmark_number() {
     let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).expect("valid grid");
     let v = LandmarkVector::from_millis(&[12.0, 88.0, 201.0, 5.0, 60.0]);
-    c.bench_function("landmark_number_hilbert", |b| {
-        b.iter(|| grid.landmark_number(black_box(&v), SpaceFillingCurve::Hilbert))
+    bench_fn("landmark_number_hilbert", || {
+        black_box(grid.landmark_number(black_box(&v), SpaceFillingCurve::Hilbert));
     });
-    c.bench_function("landmark_number_zorder", |b| {
-        b.iter(|| grid.landmark_number(black_box(&v), SpaceFillingCurve::ZOrder))
+    bench_fn("landmark_number_zorder", || {
+        black_box(grid.landmark_number(black_box(&v), SpaceFillingCurve::ZOrder));
     });
 }
 
-criterion_group!(benches, bench_curves, bench_landmark_number);
-criterion_main!(benches);
+fn main() {
+    bench_curves();
+    bench_landmark_number();
+}

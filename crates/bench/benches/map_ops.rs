@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the soft-state maps: publish, the Table-1 lookup,
 //! TTL expiry sweeps, and wire encoding.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use tao_landmark::{LandmarkGrid, LandmarkVector};
 use tao_overlay::{OverlayNodeId, Zone};
 use tao_sim::{SimDuration, SimTime};
 use tao_softstate::{NodeInfo, SoftStateConfig, SoftStateEntry, ZoneMap};
 use tao_topology::NodeIdx;
+use tao_util::bench::{bench_fn, bench_with_setup, black_box};
 
 fn config() -> SoftStateConfig {
     let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).expect("valid grid");
@@ -34,61 +34,57 @@ fn filled_map(n: u32, cfg: &SoftStateConfig) -> ZoneMap {
     map
 }
 
-fn bench_publish(c: &mut Criterion) {
+fn bench_publish() {
     let cfg = config();
-    c.bench_function("map_publish_into_1k", |b| {
-        let base = filled_map(1_024, &cfg);
-        b.iter_batched(
-            || base.clone(),
-            |mut map| map.publish(info(99_999, &cfg), SimTime::ORIGIN, &cfg),
-            BatchSize::SmallInput,
-        )
-    });
+    let base = filled_map(1_024, &cfg);
+    bench_with_setup(
+        "map_publish_into_1k",
+        || base.clone(),
+        |mut map| map.publish(info(99_999, &cfg), SimTime::ORIGIN, &cfg),
+    );
 }
 
-fn bench_lookup(c: &mut Criterion) {
+fn bench_lookup() {
     let cfg = config();
     let map = filled_map(1_024, &cfg);
     let q = info(500_000, &cfg);
-    c.bench_function("map_lookup_table1_1k", |b| {
-        b.iter(|| {
-            map.lookup(
-                black_box(&q.vector),
-                black_box(q.number),
-                10,
-                64,
-                SimTime::ORIGIN,
-            )
-        })
+    bench_fn("map_lookup_table1_1k", || {
+        black_box(map.lookup(
+            black_box(&q.vector),
+            black_box(q.number),
+            10,
+            64,
+            SimTime::ORIGIN,
+        ));
     });
 }
 
-fn bench_expire(c: &mut Criterion) {
+fn bench_expire() {
     let cfg = config();
-    c.bench_function("map_expire_sweep_1k", |b| {
-        let base = filled_map(1_024, &cfg);
-        let later = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_secs(1);
-        b.iter_batched(
-            || base.clone(),
-            |mut map| map.expire(later),
-            BatchSize::SmallInput,
-        )
-    });
+    let base = filled_map(1_024, &cfg);
+    let later = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_secs(1);
+    bench_with_setup("map_expire_sweep_1k", || base.clone(), |mut map| map.expire(later));
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let cfg = config();
     let entry = SoftStateEntry {
         info: info(7, &cfg),
         position: tao_overlay::Point::new(vec![0.25, 0.75]).expect("valid point"),
         expires_at: SimTime::from_micros(1_000_000),
     };
-    c.bench_function("entry_encode", |b| b.iter(|| black_box(&entry).encode()));
+    bench_fn("entry_encode", || {
+        black_box(black_box(&entry).encode());
+    });
     let bytes = entry.encode();
-    c.bench_function("entry_decode", |b| {
-        b.iter(|| SoftStateEntry::decode(black_box(bytes.clone())))
+    bench_fn("entry_decode", || {
+        black_box(SoftStateEntry::decode(black_box(&bytes)));
     });
 }
 
-criterion_group!(benches, bench_publish, bench_lookup, bench_expire, bench_wire);
-criterion_main!(benches);
+fn main() {
+    bench_publish();
+    bench_lookup();
+    bench_expire();
+    bench_wire();
+}

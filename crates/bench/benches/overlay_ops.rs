@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the overlay: CAN join, owner lookup, greedy routing,
 //! and eCAN expressway routing.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tao_overlay::ecan::{EcanOverlay, RandomSelector};
 use tao_overlay::{CanOverlay, OverlayNodeId, Point};
 use tao_topology::NodeIdx;
+use tao_util::bench::{bench_fn, bench_with_setup, black_box};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 
 fn grown_can(n: u32, seed: u64) -> CanOverlay {
     let mut can = CanOverlay::new(2).expect("2-d CAN");
@@ -17,81 +17,67 @@ fn grown_can(n: u32, seed: u64) -> CanOverlay {
     can
 }
 
-fn bench_join(c: &mut Criterion) {
-    c.bench_function("can_join_into_1k", |b| {
-        let base = grown_can(1_024, 3);
-        let mut rng = StdRng::seed_from_u64(4);
-        b.iter_batched(
-            || (base.clone(), Point::random(2, &mut rng)),
-            |(mut can, p)| can.join(NodeIdx(9_999), p),
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_join() {
+    let base = grown_can(1_024, 3);
+    let rng = std::cell::RefCell::new(StdRng::seed_from_u64(4));
+    bench_with_setup(
+        "can_join_into_1k",
+        || (base.clone(), Point::random(2, &mut *rng.borrow_mut())),
+        |(mut can, p)| can.join(NodeIdx(9_999), p),
+    );
 }
 
-fn bench_owner_and_routing(c: &mut Criterion) {
+fn bench_owner_and_routing() {
     let can = grown_can(1_024, 5);
     let mut rng = StdRng::seed_from_u64(6);
     let points: Vec<Point> = (0..64).map(|_| Point::random(2, &mut rng)).collect();
     let live: Vec<OverlayNodeId> = can.live_nodes().collect();
 
-    c.bench_function("can_owner_lookup_1k", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % points.len();
-            can.owner(black_box(&points[i]))
-        })
+    let mut i = 0;
+    bench_fn("can_owner_lookup_1k", || {
+        i = (i + 1) % points.len();
+        black_box(can.owner(black_box(&points[i])));
     });
 
-    c.bench_function("can_greedy_route_1k", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % points.len();
-            can.route(live[i % live.len()], black_box(&points[i]))
-        })
+    let mut i = 0;
+    bench_fn("can_greedy_route_1k", || {
+        i = (i + 1) % points.len();
+        black_box(can.route(live[i % live.len()], black_box(&points[i])));
     });
 
     let ecan = EcanOverlay::build(can, &mut RandomSelector::new(1));
-    c.bench_function("ecan_express_route_1k", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % points.len();
-            ecan.route_express(live[i % live.len()], black_box(&points[i]))
-        })
+    let mut i = 0;
+    bench_fn("ecan_express_route_1k", || {
+        i = (i + 1) % points.len();
+        black_box(ecan.route_express(live[i % live.len()], black_box(&points[i])));
     });
 }
 
-fn bench_ecan_build(c: &mut Criterion) {
-    c.bench_function("ecan_table_build_256", |b| {
-        let can = grown_can(256, 7);
-        b.iter_batched(
-            || can.clone(),
-            |can| EcanOverlay::build(can, &mut RandomSelector::new(2)),
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_ecan_build() {
+    let can = grown_can(256, 7);
+    bench_with_setup(
+        "ecan_table_build_256",
+        || can.clone(),
+        |can| EcanOverlay::build(can, &mut RandomSelector::new(2)),
+    );
 }
 
-fn bench_route_sample(c: &mut Criterion) {
+fn bench_route_sample() {
     // End-to-end: what one stretch sample costs the experiment harness.
     let can = grown_can(512, 8);
     let ecan = EcanOverlay::build(can, &mut RandomSelector::new(3));
     let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
     let mut rng = StdRng::seed_from_u64(9);
-    c.bench_function("route_sample_512", |b| {
-        b.iter(|| {
-            let src = live[rng.gen_range(0..live.len())];
-            let target = Point::random(2, &mut rng);
-            ecan.route_express(src, black_box(&target))
-        })
+    bench_fn("route_sample_512", || {
+        let src = live[rng.gen_range(0..live.len())];
+        let target = Point::random(2, &mut rng);
+        black_box(ecan.route_express(src, black_box(&target)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_join,
-    bench_owner_and_routing,
-    bench_ecan_build,
-    bench_route_sample
-);
-criterion_main!(benches);
+fn main() {
+    bench_join();
+    bench_owner_and_routing();
+    bench_ecan_build();
+    bench_route_sample();
+}

@@ -5,8 +5,8 @@
 //! end-to-end routing stretch, and clustering quality — how close along the
 //! scalar key the true nearest neighbor's landmark number lands.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
 use tao_bench::{f3, print_table, Scale};
 use tao_core::{SelectionStrategy, TaoBuilder};
 use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};

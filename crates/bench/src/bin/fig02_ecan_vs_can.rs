@@ -4,8 +4,8 @@
 //! Expected shape: CAN hops grow like `(d/4) · N^(1/d)`; eCAN stays
 //! logarithmic and beats even 5-dimensional CAN well before 10k nodes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_bench::{f3, print_table, Scale};
 use tao_overlay::ecan::{EcanOverlay, RandomSelector};
 use tao_overlay::{CanOverlay, OverlayNodeId, Point};

@@ -6,8 +6,8 @@
 //! stretch 1; the hybrid approach gets close with 5–30. The `lmk+rtt`
 //! series' first point (one measurement) is "landmark clustering alone".
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
 use tao_bench::{f3, print_table, Scale};
 use tao_landmark::LandmarkVector;
 use tao_overlay::{CanOverlay, OverlayNodeId, Point};
@@ -53,7 +53,7 @@ fn setup(params: &TransitStubParams, query_count: usize, seed: u64) -> Setup {
         .collect();
     let queries: Vec<OverlayNodeId> = {
         let mut live: Vec<OverlayNodeId> = can.live_nodes().collect();
-        use rand::seq::SliceRandom;
+        use tao_util::rand::seq::SliceRandom;
         live.shuffle(&mut rng);
         live.truncate(query_count);
         live

@@ -16,8 +16,8 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_bench::{f3, print_table, Scale};
 use tao_core::{SelectionStrategy, TaoBuilder};
 use tao_overlay::OverlayNodeId;

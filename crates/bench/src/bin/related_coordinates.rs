@@ -12,8 +12,8 @@
 //! is directly comparable to figures 3/5: nearest-neighbor stretch after k
 //! RTT measurements.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
 use tao_bench::{f3, print_table, Scale};
 use tao_landmark::coordinates::{estimated_distance_ms, fit_client, fit_landmarks, Coordinates};
 use tao_landmark::LandmarkVector;

@@ -6,8 +6,8 @@
 //! next to a uniform CAN of the same population and prints both imbalance
 //! profiles.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
 use tao_bench::{f3, print_table, Scale};
 use tao_landmark::LandmarkVector;
 use tao_overlay::tacan::{binned_join_point, ImbalanceStats};

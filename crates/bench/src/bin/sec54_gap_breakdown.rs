@@ -8,8 +8,8 @@
 //!   mesh ("P2P routing stretch can be reduced to ~1 … but [with] frequent
 //!   propagation of routing information"), with its state/message bill.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_bench::{f3, print_table, Scale};
 use tao_core::experiment::{gap_breakdown, topology_for};
 use tao_core::{SelectionStrategy, TaoBuilder};

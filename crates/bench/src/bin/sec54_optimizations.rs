@@ -13,8 +13,8 @@
 //! Measurement noise is multiplicative per-probe jitter, the regime the
 //! paper's "suppress noises" remark targets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_bench::{f3, print_table, Scale};
 use tao_landmark::analysis::PcaModel;
 use tao_landmark::LandmarkVector;

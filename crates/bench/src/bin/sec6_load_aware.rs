@@ -10,8 +10,8 @@
 //! Expected shape: as the load penalty grows, peak utilization falls while
 //! mean stretch rises moderately — distance is traded for headroom.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_bench::{f3, print_table, Scale};
 use tao_core::{LoadAwareSelector, LoadModel, SelectionStrategy, TaoBuilder};
 use tao_overlay::ecan::EcanOverlay;

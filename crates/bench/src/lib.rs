@@ -145,22 +145,38 @@ where
     let work: std::sync::Mutex<Vec<(usize, T)>> =
         std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
     let results: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let next = work.lock().expect("work queue poisoned").pop();
-                match next {
-                    Some((i, item)) => {
-                        let r = f(item);
-                        results.lock().expect("results poisoned").push((i, r));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n.max(1)))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    // A panicked worker poisons the queue; unwrap_or_else
+                    // lets the rest drain it so the panic surfaces via join.
+                    let next = work
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .pop();
+                    match next {
+                        Some((i, item)) => {
+                            let r = f(item);
+                            results
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                .push((i, r));
+                        }
+                        None => break,
                     }
-                    None => break,
-                }
-            });
+                })
+            })
+            .collect();
+        // Propagate the first worker panic with its original payload,
+        // rather than swallowing it behind a generic scope error.
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
-    })
-    .expect("worker thread panicked");
-    for (i, r) in results.into_inner().expect("results poisoned") {
+    });
+    for (i, r) in results.into_inner().unwrap_or_else(|p| p.into_inner()) {
         slots[i] = Some(r);
     }
     slots
@@ -183,5 +199,23 @@ mod par_tests {
     fn single_worker_degenerates_to_map() {
         let out = par_map(vec!["a", "bb"], 1, |s| s.len());
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(vec![1, 2, 3], 2, |x| {
+                if x == 2 {
+                    panic!("boom on {x}");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom on 2"), "payload lost: {msg}");
     }
 }

@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_overlay::ecan::NeighborSelector;
 use tao_overlay::{CanOverlay, OverlayNodeId, Zone};
 use tao_softstate::LoadStats;
@@ -153,7 +153,7 @@ impl NeighborSelector for LoadAwareSelector<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use tao_util::rand::rngs::StdRng;
     use tao_overlay::ecan::EcanOverlay;
     use tao_overlay::{CanOverlay, Point};
     use tao_topology::{

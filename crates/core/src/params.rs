@@ -11,10 +11,8 @@
 //! recorded in `DESIGN.md`, chosen to keep every experiment laptop-scale
 //! while preserving the paper's shape.)
 
-use serde::{Deserialize, Serialize};
-
 /// How eCAN expressway representatives are chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SelectionStrategy {
     /// Uniformly random member — the baseline in figures 14–15.
     Random,
@@ -30,7 +28,7 @@ pub enum SelectionStrategy {
 
 /// The full parameter set of one experiment run (Table 2 plus the knobs the
 /// paper fixes in prose).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentParams {
     /// Number of overlay nodes (default 1024).
     pub overlay_nodes: usize,

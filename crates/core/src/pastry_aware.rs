@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_landmark::{LandmarkGrid, LandmarkVector};
 use tao_overlay::pastry::{
     shared_prefix_len, ClosestEntrySelector, EntrySelector, PastryId, PastryOverlay,

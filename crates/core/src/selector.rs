@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_overlay::ecan::NeighborSelector;
 use tao_overlay::{CanOverlay, OverlayNodeId, Zone};
 use tao_sim::SimTime;
@@ -121,7 +121,7 @@ impl NeighborSelector for GlobalStateSelector<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use tao_util::rand::rngs::StdRng;
     use tao_landmark::{LandmarkGrid, LandmarkVector};
     use tao_overlay::ecan::{EcanOverlay, RandomSelector};
     use tao_overlay::Point;

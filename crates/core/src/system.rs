@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::seq::SliceRandom;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
 use tao_overlay::ecan::{ClosestSelector, EcanOverlay, RandomSelector};
 use tao_overlay::{CanOverlay, OverlayNodeId, Point};

@@ -243,9 +243,9 @@ mod tests {
         // Two informative dimensions plus one of pure noise: with keep=2
         // the projected distance of same-signal pairs shrinks relative to
         // the raw distance that the noise inflates.
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use tao_util::rand::Rng;
+        use tao_util::rand::SeedableRng;
+        let mut rng = tao_util::rand::rngs::StdRng::seed_from_u64(9);
         let mut samples = Vec::new();
         for i in 0..60 {
             let base = (i % 6) as f64 * 40.0;

@@ -11,8 +11,8 @@
 //! Implemented with plain gradient descent on the squared embedding error —
 //! deterministic given a seed, no linear-algebra dependencies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 
 use crate::vector::LandmarkVector;
 
@@ -212,8 +212,8 @@ mod tests {
 
     #[test]
     fn estimates_correlate_with_real_distances_on_a_topology() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use tao_util::rand::rngs::StdRng;
+        use tao_util::rand::SeedableRng;
         use tao_topology::landmarks::{select_landmarks, LandmarkStrategy};
         use tao_topology::{
             generate_transit_stub, LatencyAssignment, RttOracle, TransitStubParams,

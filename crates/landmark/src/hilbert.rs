@@ -379,35 +379,52 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use tao_util::check::for_all;
+        use tao_util::check_eq;
+        use tao_util::rand::Rng;
 
-        proptest! {
-            #[test]
-            fn index_point_round_trip(dims in 2usize..6, bits in 1u32..8, seed in any::<u64>()) {
+        #[test]
+        fn index_point_round_trip() {
+            for_all("index_point_round_trip", 256, |rng| {
+                let dims = rng.gen_range(2usize..6);
+                let bits = rng.gen_range(1u32..8);
                 let c = HilbertCurve::new(dims, bits).unwrap();
-                let index = (seed as u128) % (c.max_index() + 1);
+                let index = (rng.gen::<u64>() as u128) % (c.max_index() + 1);
                 let p = c.point(index);
-                prop_assert_eq!(c.index(&p), index);
-            }
+                check_eq!(c.index(&p), index, "dims={dims} bits={bits}");
+            });
+        }
 
-            #[test]
-            fn point_index_round_trip(bits in 1u32..8, coords in proptest::collection::vec(any::<u32>(), 2..6)) {
-                let dims = coords.len();
+        #[test]
+        fn point_index_round_trip() {
+            for_all("point_index_round_trip", 256, |rng| {
+                let dims = rng.gen_range(2usize..6);
+                let bits = rng.gen_range(1u32..8);
                 let c = HilbertCurve::new(dims, bits).unwrap();
-                let clamped: Vec<u32> = coords.iter().map(|&v| v & c.max_coord()).collect();
+                let clamped: Vec<u32> = (0..dims)
+                    .map(|_| rng.gen::<u32>() & c.max_coord())
+                    .collect();
                 let i = c.index(&clamped);
-                prop_assert_eq!(c.point(i), clamped);
-            }
+                check_eq!(c.point(i), clamped, "dims={dims} bits={bits}");
+            });
+        }
 
-            #[test]
-            fn adjacent_indices_are_adjacent_points(dims in 2usize..5, bits in 1u32..6, seed in any::<u64>()) {
+        #[test]
+        fn adjacent_indices_are_adjacent_points() {
+            for_all("adjacent_indices_are_adjacent_points", 256, |rng| {
+                let dims = rng.gen_range(2usize..5);
+                let bits = rng.gen_range(1u32..6);
                 let c = HilbertCurve::new(dims, bits).unwrap();
-                let i = (seed as u128) % c.max_index();
+                let i = (rng.gen::<u64>() as u128) % c.max_index();
                 let a = c.point(i);
                 let b = c.point(i + 1);
-                let l1: i64 = a.iter().zip(&b).map(|(&x, &y)| (x as i64 - y as i64).abs()).sum();
-                prop_assert_eq!(l1, 1);
-            }
+                let l1: i64 = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| (x as i64 - y as i64).abs())
+                    .sum();
+                check_eq!(l1, 1, "dims={dims} bits={bits} i={i}");
+            });
         }
     }
 }

@@ -180,15 +180,21 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use tao_util::check::for_all;
+        use tao_util::check_eq;
+        use tao_util::rand::Rng;
 
-        proptest! {
-            #[test]
-            fn round_trip(bits in 1u32..8, coords in proptest::collection::vec(any::<u32>(), 1..6)) {
-                let c = MortonCurve::new(coords.len(), bits).unwrap();
-                let clamped: Vec<u32> = coords.iter().map(|&v| v & c.max_coord()).collect();
-                prop_assert_eq!(c.point(c.index(&clamped)), clamped);
-            }
+        #[test]
+        fn round_trip() {
+            for_all("morton_round_trip", 256, |rng| {
+                let bits = rng.gen_range(1u32..8);
+                let dims = rng.gen_range(1usize..6);
+                let c = MortonCurve::new(dims, bits).unwrap();
+                let clamped: Vec<u32> = (0..dims)
+                    .map(|_| rng.gen::<u32>() & c.max_coord())
+                    .collect();
+                check_eq!(c.point(c.index(&clamped)), clamped, "dims={dims} bits={bits}");
+            });
         }
     }
 }

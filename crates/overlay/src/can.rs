@@ -310,7 +310,7 @@ impl CanOverlay {
     /// # Panics
     ///
     /// Panics if dimensionalities differ.
-    pub fn sample_in(&self, query: &Zone, rng: &mut impl rand::Rng) -> Option<OverlayNodeId> {
+    pub fn sample_in(&self, query: &Zone, rng: &mut impl tao_util::rand::Rng) -> Option<OverlayNodeId> {
         assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
         let root = self.tree.as_ref()?;
         let whole = Zone::whole(self.dims);
@@ -321,7 +321,7 @@ impl CanOverlay {
         node: &TreeNode,
         bounds: &Zone,
         query: &Zone,
-        rng: &mut impl rand::Rng,
+        rng: &mut impl tao_util::rand::Rng,
     ) -> Option<OverlayNodeId> {
         if !bounds.intersects(query) {
             return None;
@@ -678,8 +678,8 @@ fn zones_adjacent(a: &[Zone], b: &[Zone]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::{Rng, SeedableRng};
 
     fn grown_overlay(n: usize, seed: u64) -> CanOverlay {
         let mut can = CanOverlay::new(2).unwrap();

@@ -30,8 +30,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_topology::{NodeIdx, RttOracle};
 
 /// A position on the Chord identifier ring (`u64`, wrapping).

@@ -231,8 +231,8 @@ pub fn proximity_links(
 mod tests {
     use super::*;
     use crate::point::Point;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::{Rng, SeedableRng};
     use tao_topology::{
         generate_transit_stub, LatencyAssignment, NodeIdx, TransitStubParams,
     };

@@ -15,9 +15,9 @@
 //! use tao_overlay::ecan::{EcanOverlay, RandomSelector};
 //! use tao_overlay::{CanOverlay, Point};
 //! use tao_topology::NodeIdx;
-//! use rand::SeedableRng;
+//! use tao_util::rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = tao_util::rand::rngs::StdRng::seed_from_u64(7);
 //! let mut can = CanOverlay::new(2).unwrap();
 //! for i in 0..64 {
 //!     can.join(NodeIdx(i), Point::random(2, &mut rng));
@@ -31,8 +31,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_topology::RttOracle;
 
 use crate::can::{CanOverlay, OverlayError, OverlayNodeId, Route};
@@ -572,20 +572,19 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use tao_util::check::for_all;
+        use tao_util::rand::Rng;
+        use tao_util::{check, check_eq, check_ne};
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(24))]
-
-            /// For any overlay size and seed, express routing terminates at
-            /// the owner of the target point.
-            #[test]
-            fn express_routing_always_reaches_the_owner(
-                n in 4u32..96,
-                seed in any::<u64>(),
-                tx in 0.0f64..1.0,
-                ty in 0.0f64..1.0,
-            ) {
+        /// For any overlay size and seed, express routing terminates at
+        /// the owner of the target point.
+        #[test]
+        fn express_routing_always_reaches_the_owner() {
+            for_all("express_routing_always_reaches_the_owner", 24, |rng| {
+                let n = rng.gen_range(4u32..96);
+                let seed: u64 = rng.gen();
+                let tx = rng.gen_range(0.0f64..1.0);
+                let ty = rng.gen_range(0.0f64..1.0);
                 let can = grown_can(n, 2, seed);
                 let ecan = EcanOverlay::build(can, &mut RandomSelector::new(seed ^ 1));
                 let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
@@ -593,25 +592,33 @@ mod tests {
                 let route = ecan
                     .route_express(live[(seed as usize) % live.len()], &target)
                     .expect("routing succeeds on a consistent overlay");
-                prop_assert_eq!(
+                check_eq!(
                     *route.hops.last().expect("non-empty"),
-                    ecan.can().owner(&target)
+                    ecan.can().owner(&target),
+                    "n={n} seed={seed:#x}"
                 );
-            }
+            });
+        }
 
-            /// High-order tables never reference the owner itself and every
-            /// representative is live.
-            #[test]
-            fn tables_are_well_formed(n in 8u32..80, seed in any::<u64>()) {
+        /// High-order tables never reference the owner itself and every
+        /// representative is live.
+        #[test]
+        fn tables_are_well_formed() {
+            for_all("tables_are_well_formed", 24, |rng| {
+                let n = rng.gen_range(8u32..80);
+                let seed: u64 = rng.gen();
                 let can = grown_can(n, 2, seed);
                 let ecan = EcanOverlay::build(can, &mut RandomSelector::new(seed ^ 2));
                 for id in ecan.can().live_nodes() {
                     for e in ecan.high_order_entries(id) {
-                        prop_assert_ne!(e.representative, id);
-                        prop_assert!(ecan.can().zone(e.representative).is_ok());
+                        check_ne!(e.representative, id);
+                        check!(
+                            ecan.can().zone(e.representative).is_ok(),
+                            "dead representative, n={n} seed={seed:#x}"
+                        );
                     }
                 }
-            }
+            });
         }
     }
 

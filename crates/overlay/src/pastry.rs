@@ -15,9 +15,9 @@
 //! ```
 //! use tao_overlay::pastry::{PastryOverlay, RandomEntrySelector};
 //! use tao_topology::NodeIdx;
-//! use rand::{Rng, SeedableRng};
+//! use tao_util::rand::{Rng, SeedableRng};
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let mut rng = tao_util::rand::rngs::StdRng::seed_from_u64(3);
 //! let mut pastry = PastryOverlay::new(8);
 //! for i in 0..64u32 {
 //!     pastry.join(NodeIdx(i), rng.gen());
@@ -32,8 +32,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_topology::{NodeIdx, RttOracle};
 
 /// A Pastry node identifier: 64 bits read as 16 hexadecimal digits, most

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use tao_util::rand::Rng;
 
 /// A point in the CAN Cartesian space. Coordinates live on the unit torus:
 /// each axis wraps around, so `0.0` and `0.999…` are close.
@@ -132,8 +132,8 @@ impl fmt::Display for Point {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
 
     #[test]
     fn new_validates_range() {

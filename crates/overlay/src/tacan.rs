@@ -12,7 +12,7 @@
 //! module reproduces the layout and provides [`ImbalanceStats`] to quantify
 //! the claim.
 
-use rand::Rng;
+use tao_util::rand::Rng;
 
 use crate::can::CanOverlay;
 use crate::point::Point;
@@ -136,8 +136,8 @@ impl ImbalanceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
     use tao_topology::NodeIdx;
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use tao_util::rand::Rng;
 
 use crate::point::Point;
 
@@ -352,8 +352,8 @@ mod tests {
 
     #[test]
     fn random_point_lands_inside() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use tao_util::rand::rngs::StdRng;
+        use tao_util::rand::SeedableRng;
         let (left, _) = Zone::whole(3).split(2);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..50 {

@@ -72,8 +72,8 @@ pub fn expanding_ring_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
     use tao_overlay::Point;
     use tao_topology::{
         generate_transit_stub, LatencyAssignment, NodeIdx, TransitStubParams,

@@ -395,15 +395,18 @@ mod tests {
 #[cfg(test)]
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use tao_util::check::for_all;
+    use tao_util::rand::Rng;
+    use tao_util::{check, check_eq};
 
-    proptest! {
-        /// Identical schedules replay identically: determinism is the
-        /// engine's core guarantee.
-        #[test]
-        fn identical_runs_replay_identically(
-            sends in proptest::collection::vec((0usize..4, 0usize..4, any::<u16>()), 1..30),
-        ) {
+    /// Identical schedules replay identically: determinism is the
+    /// engine's core guarantee.
+    #[test]
+    fn identical_runs_replay_identically() {
+        for_all("identical_runs_replay_identically", 256, |rng| {
+            let sends: Vec<(usize, usize, u16)> = (0..rng.gen_range(1usize..30))
+                .map(|_| (rng.gen_range(0..4), rng.gen_range(0..4), rng.gen()))
+                .collect();
             let run = || {
                 let mut sim: Simulator<u16, _> =
                     Simulator::new(UniformLatency::new(SimDuration::from_millis(3)));
@@ -425,14 +428,17 @@ mod properties {
                 {}
                 (log, sim.now(), sim.stats())
             };
-            prop_assert_eq!(run(), run());
-        }
+            check_eq!(run(), run());
+        });
+    }
 
-        /// Virtual time never runs backwards, whatever the schedule.
-        #[test]
-        fn time_is_monotone(
-            delays in proptest::collection::vec(0u64..10_000, 1..50),
-        ) {
+    /// Virtual time never runs backwards, whatever the schedule.
+    #[test]
+    fn time_is_monotone() {
+        for_all("time_is_monotone", 256, |rng| {
+            let delays: Vec<u64> = (0..rng.gen_range(1usize..50))
+                .map(|_| rng.gen_range(0u64..10_000))
+                .collect();
             let mut sim: Simulator<(), _> =
                 Simulator::new(UniformLatency::new(SimDuration::ZERO));
             sim.add_node();
@@ -441,16 +447,19 @@ mod properties {
             }
             let mut last = SimTime::ORIGIN;
             while let Some(at) = sim.step(|engine, _, _| engine.now()) {
-                prop_assert!(at >= last);
+                check!(at >= last, "time ran backwards: {at:?} after {last:?}");
                 last = at;
             }
-        }
+        });
+    }
 
-        /// Every message sent is delivered exactly once.
-        #[test]
-        fn delivery_is_exactly_once(
-            sends in proptest::collection::vec((0usize..3, 0usize..3), 1..40),
-        ) {
+    /// Every message sent is delivered exactly once.
+    #[test]
+    fn delivery_is_exactly_once() {
+        for_all("delivery_is_exactly_once", 256, |rng| {
+            let sends: Vec<(usize, usize)> = (0..rng.gen_range(1usize..40))
+                .map(|_| (rng.gen_range(0..3), rng.gen_range(0..3)))
+                .collect();
             let mut sim: Simulator<usize, _> =
                 Simulator::new(UniformLatency::new(SimDuration::from_millis(1)));
             for _ in 0..3 {
@@ -461,7 +470,7 @@ mod properties {
             }
             let mut seen = vec![0usize; sends.len()];
             while sim.step(|_, _, msg| seen[msg.payload] += 1).is_some() {}
-            prop_assert!(seen.iter().all(|&c| c == 1));
-        }
+            check!(seen.iter().all(|&c| c == 1), "counts: {seen:?}");
+        });
     }
 }

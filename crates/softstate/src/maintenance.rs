@@ -95,8 +95,8 @@ mod tests {
     use super::*;
     use crate::config::SoftStateConfig;
     use crate::entry::NodeInfo;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
     use tao_landmark::{LandmarkGrid, LandmarkVector};
     use tao_overlay::ecan::{EcanOverlay, RandomSelector};
     use tao_overlay::{CanOverlay, Point};

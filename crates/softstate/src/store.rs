@@ -219,8 +219,8 @@ impl GlobalState {
 mod tests {
     use super::*;
     use crate::entry::NodeInfo;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
     use tao_landmark::{LandmarkGrid, LandmarkVector};
     use tao_overlay::ecan::RandomSelector;
     use tao_overlay::Point;

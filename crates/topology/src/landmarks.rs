@@ -6,8 +6,8 @@
 //! greedy spread that picks each next landmark to maximise its distance from
 //! the already-chosen set, plus selection restricted to transit routers.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use tao_util::rand::seq::SliceRandom;
+use tao_util::rand::Rng;
 use tao_sim::SimDuration;
 
 use crate::graph::{Graph, NodeIdx};
@@ -36,11 +36,11 @@ pub enum LandmarkStrategy {
 /// ```
 /// use tao_topology::{generate_transit_stub, LatencyAssignment, TransitStubParams};
 /// use tao_topology::landmarks::{select_landmarks, LandmarkStrategy};
-/// use rand::SeedableRng;
+/// use tao_util::rand::SeedableRng;
 ///
 /// let topo = generate_transit_stub(
 ///     &TransitStubParams::tsk_small_mini(), LatencyAssignment::manual(), 8);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = tao_util::rand::rngs::StdRng::seed_from_u64(1);
 /// let lms = select_landmarks(topo.graph(), 15, LandmarkStrategy::Random, &mut rng);
 /// assert_eq!(lms.len(), 15);
 /// ```
@@ -110,8 +110,8 @@ mod tests {
     use super::*;
     use crate::latency::LatencyAssignment;
     use crate::transit_stub::{generate_transit_stub, TransitStubParams};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
 
     fn topo() -> crate::transit_stub::Topology {
         generate_transit_stub(

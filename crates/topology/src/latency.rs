@@ -9,8 +9,8 @@
 //! preserves the property every experiment depends on: crossing the backbone
 //! is far more expensive than wandering inside an edge network.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::Rng;
+use tao_util::rand::distributions::{Distribution, Uniform};
+use tao_util::rand::Rng;
 use tao_sim::SimDuration;
 
 use crate::graph::EdgeClass;
@@ -134,8 +134,8 @@ impl LatencyAssignment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tao_util::rand::rngs::StdRng;
+    use tao_util::rand::SeedableRng;
 
     #[test]
     fn manual_assignment_is_constant_per_class() {

@@ -9,9 +9,7 @@
 use std::collections::BinaryHeap;
 use std::cmp::Reverse;
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 use tao_sim::SimDuration;
 
 use crate::graph::{Graph, NodeIdx};
@@ -115,11 +113,11 @@ impl SpCache {
 
     /// Returns the distance vector from `source`, computing it on first use.
     pub fn distances(&self, graph: &Graph, source: NodeIdx) -> Arc<Vec<SimDuration>> {
-        if let Some(hit) = self.inner.read().get(&source) {
+        if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) {
             return Arc::clone(hit);
         }
         let computed = Arc::new(shortest_paths(graph, source));
-        let mut w = self.inner.write();
+        let mut w = self.inner.write().expect("sp cache poisoned");
         if w.len() >= self.capacity {
             w.clear();
         }
@@ -131,7 +129,7 @@ impl SpCache {
     /// landmark set costs one Dijkstra per landmark, not one per node.
     pub fn distance(&self, graph: &Graph, a: NodeIdx, b: NodeIdx) -> SimDuration {
         {
-            let r = self.inner.read();
+            let r = self.inner.read().expect("sp cache poisoned");
             if let Some(v) = r.get(&a) {
                 return v[b.index()];
             }
@@ -144,17 +142,17 @@ impl SpCache {
 
     /// Number of cached source vectors.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("sp cache poisoned").len()
     }
 
     /// `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().expect("sp cache poisoned").is_empty()
     }
 
     /// Drops all cached vectors.
     pub fn clear(&self) {
-        self.inner.write().clear();
+        self.inner.write().expect("sp cache poisoned").clear();
     }
 }
 

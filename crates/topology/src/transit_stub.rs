@@ -18,9 +18,9 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::seq::SliceRandom;
+use tao_util::rand::{Rng, SeedableRng};
 
 use crate::graph::{EdgeClass, Graph, NodeIdx, NodeKind};
 use crate::latency::LatencyAssignment;

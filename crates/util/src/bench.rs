@@ -1,0 +1,299 @@
+//! A small timing harness — the in-tree `criterion` replacement.
+//!
+//! [`bench_fn`] auto-calibrates an iteration count, times `samples` batches
+//! with [`std::time::Instant`], and reports the **median** ns/iteration
+//! (median-of-N is robust to scheduler noise without criterion's
+//! bootstrap machinery). Each result is printed as a table row and appended
+//! as a JSON line to `results/bench.jsonl` so successive runs accumulate a
+//! benchmark trajectory.
+//!
+//! Bench targets keep `harness = false`; their `main` just calls
+//! [`bench_fn`] / [`bench_with_setup`] in sequence. Like criterion, the
+//! harness distinguishes `cargo bench` (passes `--bench`) from
+//! `cargo test` (doesn't): under a test run every routine executes **once**
+//! as a smoke check and nothing is timed or written.
+//!
+//! Knobs: `TAO_BENCH_SAMPLES` (default 15), `TAO_BENCH_MS` (target
+//! milliseconds per sample, default 20), `TAO_BENCH_OUT` (output path,
+//! default `results/bench.jsonl`; set to `none` to disable).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// `true` when invoked by `cargo bench` (which passes `--bench`).
+pub fn is_bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn samples() -> usize {
+    std::env::var("TAO_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(15)
+}
+
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("TAO_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(20);
+    Duration::from_millis(ms)
+}
+
+/// One benchmark's summary statistics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (unique within a run).
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Iterations per sample the calibrator settled on.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, iters: u64, per_iter_ns: &mut Vec<f64>) -> BenchResult {
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = if per_iter_ns.len() % 2 == 1 {
+            per_iter_ns[per_iter_ns.len() / 2]
+        } else {
+            let hi = per_iter_ns.len() / 2;
+            (per_iter_ns[hi - 1] + per_iter_ns[hi]) / 2.0
+        };
+        BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().expect("at least one sample"),
+            iters_per_sample: iters,
+            samples: per_iter_ns.len(),
+        }
+    }
+
+    fn report(&self) {
+        println!(
+            "{:<40} {:>14} median   {:>12} min   {:>12} max   ({} x {} iters)",
+            self.name,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.max_ns),
+            self.samples,
+            self.iters_per_sample,
+        );
+        self.append_jsonl();
+    }
+
+    fn append_jsonl(&self) {
+        let path = std::env::var("TAO_BENCH_OUT").unwrap_or_else(|_| {
+            // Cargo runs bench binaries with the *package* as cwd; walk up
+            // to the workspace root (nearest ancestor with a `results/`
+            // sibling of Cargo.toml, or just the topmost Cargo.toml) so all
+            // crates share one results/bench.jsonl.
+            let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            let mut root = dir.clone();
+            loop {
+                if dir.join("Cargo.toml").exists() {
+                    root = dir.clone();
+                    if dir.join("results").is_dir() {
+                        break;
+                    }
+                }
+                if !dir.pop() {
+                    break;
+                }
+            }
+            root.join("results/bench.jsonl").to_string_lossy().into_owned()
+        });
+        if path == "none" {
+            return;
+        }
+        let line = format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"iters_per_sample\":{},\"samples\":{}}}\n",
+            self.name.replace('"', "'"),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.iters_per_sample,
+            self.samples,
+        );
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?
+                .write_all(line.as_bytes())
+        };
+        if let Err(e) = write() {
+            eprintln!("bench: could not append to {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Times `f`, reporting median ns per call.
+///
+/// Under `cargo test` (no `--bench` argument) runs `f` once and reports
+/// nothing — the routine still smoke-tests.
+pub fn bench_fn<F: FnMut()>(name: &str, mut f: F) {
+    if !is_bench_mode() {
+        f();
+        return;
+    }
+    // Calibrate: grow the batch until it costs ~the target sample time.
+    let target = target_sample_time();
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let took = t.elapsed();
+        if took >= target || iters >= 1 << 30 {
+            break;
+        }
+        // Aim directly at the target with 2x headroom, at least doubling.
+        let scale = (target.as_secs_f64() / took.as_secs_f64().max(1e-9)).min(1e4);
+        iters = (iters as f64 * scale * 2.0).ceil().max(iters as f64 * 2.0) as u64;
+    }
+    let mut per_iter = Vec::with_capacity(samples());
+    for _ in 0..samples() {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    BenchResult::from_samples(name, iters, &mut per_iter).report();
+}
+
+/// Times `routine` on a fresh `setup()` value per call, excluding the
+/// setup cost — the `iter_batched` replacement for benchmarks that consume
+/// or mutate their input.
+///
+/// Each sample times a batch of calls back-to-back with the setups hoisted
+/// out, so per-call timer overhead does not swamp cheap routines.
+pub fn bench_with_setup<S, T, FS, FR>(name: &str, mut setup: FS, mut routine: FR)
+where
+    FS: FnMut() -> S,
+    FR: FnMut(S) -> T,
+{
+    if !is_bench_mode() {
+        black_box(routine(setup()));
+        return;
+    }
+    let target = target_sample_time();
+    // Calibrate like bench_fn, but cap the batch: every queued input is a
+    // live setup() value, so huge batches would trade timer overhead for
+    // memory blow-up on big fixtures (cloned 1k-node maps and the like).
+    const MAX_BATCH: u64 = 1 << 12;
+    let mut iters: u64 = 1;
+    loop {
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        let took = t.elapsed();
+        if took >= target || iters >= MAX_BATCH {
+            break;
+        }
+        let scale = (target.as_secs_f64() / took.as_secs_f64().max(1e-9)).min(1e4);
+        iters = ((iters as f64 * scale * 2.0).ceil().max(iters as f64 * 2.0) as u64)
+            .min(MAX_BATCH);
+    }
+    let mut per_iter = Vec::with_capacity(samples());
+    for _ in 0..samples() {
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    BenchResult::from_samples(name, iters, &mut per_iter).report();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let mut odd = vec![3.0, 1.0, 2.0];
+        let r = BenchResult::from_samples("odd", 10, &mut odd);
+        assert_eq!(r.median_ns, 2.0);
+        assert_eq!(r.min_ns, 1.0);
+        assert_eq!(r.max_ns, 3.0);
+        let mut even = vec![4.0, 1.0, 2.0, 3.0];
+        let r = BenchResult::from_samples("even", 10, &mut even);
+        assert_eq!(r.median_ns, 2.5);
+    }
+
+    #[test]
+    fn smoke_mode_runs_the_routine_exactly_once() {
+        // Tests never pass --bench, so bench_fn must degrade to one call.
+        assert!(!is_bench_mode());
+        let mut calls = 0;
+        bench_fn("smoke", || calls += 1);
+        assert_eq!(calls, 1);
+        let mut setups = 0;
+        let mut routines = 0;
+        bench_with_setup(
+            "smoke_setup",
+            || {
+                setups += 1;
+            },
+            |()| {
+                routines += 1;
+            },
+        );
+        assert_eq!((setups, routines), (1, 1));
+    }
+
+    #[test]
+    fn jsonl_line_is_well_formed() {
+        let r = BenchResult {
+            name: "x\"y".into(),
+            median_ns: 1.0,
+            min_ns: 0.5,
+            max_ns: 2.0,
+            iters_per_sample: 3,
+            samples: 5,
+        };
+        // Quotes in names must not corrupt the JSON line.
+        let dir = std::env::temp_dir().join("tao_bench_test");
+        let path = dir.join("bench.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("TAO_BENCH_OUT", path.to_str().unwrap());
+        r.append_jsonl();
+        std::env::set_var("TAO_BENCH_OUT", "none");
+        let contents = std::fs::read_to_string(&path).expect("line written");
+        assert!(contents.contains("\"name\":\"x'y\""));
+        assert!(contents.trim_end().ends_with('}'));
+    }
+}

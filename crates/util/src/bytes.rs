@@ -1,0 +1,169 @@
+//! A big-endian byte codec — the in-tree `bytes` replacement.
+//!
+//! Exactly what the soft-state wire format needs and nothing more: a
+//! [`ByteWriter`] that appends fixed-width big-endian fields to a
+//! `Vec<u8>`, and a [`ByteReader`] cursor whose getters return `None` on
+//! underrun (so truncated input fails decoding instead of panicking).
+//! Network byte order matches what `bytes`' `put_*`/`get_*` produced, so
+//! recorded message-size accounting is unchanged.
+//!
+//! ```
+//! use tao_util::bytes::{ByteReader, ByteWriter};
+//!
+//! let mut w = ByteWriter::new();
+//! w.put_u16(7);
+//! w.put_f64(0.5);
+//! let buf = w.into_vec();
+//!
+//! let mut r = ByteReader::new(&buf);
+//! assert_eq!(r.get_u16(), Some(7));
+//! assert_eq!(r.get_f64(), Some(0.5));
+//! assert!(r.is_empty());
+//! ```
+
+/// Appends big-endian fields to an owned buffer.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+macro_rules! put_get {
+    ($($put:ident / $get:ident : $t:ty),+ $(,)?) => {
+        impl ByteWriter {
+            $(
+                #[doc = concat!("Appends a big-endian `", stringify!($t), "`.")]
+                pub fn $put(&mut self, v: $t) {
+                    self.buf.extend_from_slice(&v.to_be_bytes());
+                }
+            )+
+        }
+
+        impl<'a> ByteReader<'a> {
+            $(
+                #[doc = concat!("Reads a big-endian `", stringify!($t),
+                                "`, or `None` if too few bytes remain.")]
+                pub fn $get(&mut self) -> Option<$t> {
+                    const N: usize = core::mem::size_of::<$t>();
+                    let bytes: [u8; N] = self.data.get(self.pos..self.pos + N)?
+                        .try_into().expect("slice length is N");
+                    self.pos += N;
+                    Some(<$t>::from_be_bytes(bytes))
+                }
+            )+
+        }
+    };
+}
+
+put_get! {
+    put_u8 / get_u8: u8,
+    put_u16 / get_u16: u16,
+    put_u32 / get_u32: u32,
+    put_u64 / get_u64: u64,
+    put_u128 / get_u128: u128,
+    put_f64 / get_f64: f64,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A read cursor over a byte slice. All getters advance on success and
+/// return `None` (without advancing) on underrun.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` once every byte is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_u128(u128::MAX - 7);
+        w.put_f64(-0.125);
+        let buf = w.into_vec();
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 16 + 8);
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8(), Some(0xAB));
+        assert_eq!(r.get_u16(), Some(0xBEEF));
+        assert_eq!(r.get_u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.get_u64(), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(r.get_u128(), Some(u128::MAX - 7));
+        assert_eq!(r.get_f64(), Some(-0.125));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_order_is_big_endian() {
+        let mut w = ByteWriter::new();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.into_vec(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn underrun_returns_none_and_does_not_advance() {
+        let buf = [1u8, 2, 3];
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u32(), None);
+        assert_eq!(r.remaining(), 3, "failed read must not consume");
+        assert_eq!(r.get_u16(), Some(0x0102));
+        assert_eq!(r.get_u16(), None);
+        assert_eq!(r.get_u8(), Some(3));
+        assert!(r.is_empty());
+        assert_eq!(r.get_u8(), None);
+    }
+
+    #[test]
+    fn f64_preserves_bit_patterns() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::MIN_POSITIVE, 1e300] {
+            let mut w = ByteWriter::new();
+            w.put_f64(v);
+            let buf = w.into_vec();
+            let got = ByteReader::new(&buf).get_f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+}

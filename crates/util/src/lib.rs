@@ -1,0 +1,28 @@
+//! Hermetic in-tree substrates for the tao workspace.
+//!
+//! This crate is the workspace's *entire* external surface: everything that
+//! used to come from registry crates lives here, so a clean checkout builds
+//! offline with an empty cargo cache (`cargo build --release --offline`).
+//! See `DESIGN.md` § "Hermetic build policy" for the rule and its
+//! rationale.
+//!
+//! | module | replaces | provides |
+//! |---|---|---|
+//! | [`rand`] | `rand` 0.8 | seedable SplitMix64 `StdRng`, `gen`/`gen_range`/`gen_bool`, `shuffle`, `Uniform` |
+//! | [`check`] | `proptest` | `for_all` seeded property harness + `check!` macros |
+//! | [`bench`] | `criterion` | `bench_fn` median-of-N timing, JSON lines to `results/` |
+//! | [`bytes`] | `bytes` | big-endian `ByteWriter`/`ByteReader` |
+//!
+//! Beyond hermeticity, in-tree pseudo-randomness is a *scientific*
+//! requirement: the paper's figures are seeded experiments, and `rand`
+//! never promised `StdRng` stream stability across versions. Here the
+//! stream is pinned by golden-value tests, so every recorded run is
+//! bit-reproducible forever.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod bytes;
+pub mod check;
+pub mod rand;

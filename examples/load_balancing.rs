@@ -9,8 +9,8 @@
 //! optimal representatives; re-selecting with the load-aware score spreads
 //! the traffic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_core::{LoadAwareSelector, LoadModel, SelectionStrategy, TaoBuilder};
 use tao_overlay::{OverlayNodeId, Point};
 use tao_topology::{LatencyAssignment, TransitStubParams};

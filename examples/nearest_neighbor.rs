@@ -9,8 +9,8 @@
 //! peer-to-peer system wants the physically closest existing member —
 //! without flooding the network with probes.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
 use tao_landmark::LandmarkVector;
 use tao_overlay::{CanOverlay, Point};
 use tao_proximity::{expanding_ring_search, hybrid_search, nn_stretch, true_nearest, Candidate};

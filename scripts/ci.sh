@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Hermetic CI: the whole workspace must build and test OFFLINE, from a
+# clean checkout, with an empty cargo cache. See DESIGN.md § "Hermetic
+# build policy".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# ---- Guard: no registry dependencies may ever come back. -------------------
+# Every [dependencies]/[dev-dependencies] entry must be a tao-* path crate.
+# The grep looks for the crate names we intentionally removed plus anything
+# with a version requirement, which only registry deps carry.
+banned='rand|proptest|criterion|crossbeam|parking_lot|bytes|serde'
+if grep -rnE "^[[:space:]]*(${banned})[[:space:]]*[.=]" --include=Cargo.toml crates Cargo.toml; then
+    echo "FAIL: registry dependency reintroduced (see matches above)." >&2
+    echo "The hermetic build policy allows only in-tree tao-* path deps;" >&2
+    echo "add the functionality to crates/util instead." >&2
+    exit 1
+fi
+# Member manifests may only reference workspace deps; any literal version
+# requirement ("0.8", { version = ... }) marks a registry dependency.
+if grep -rnE 'version[[:space:]]*=[[:space:]]*"[0-9^~]' crates/*/Cargo.toml; then
+    echo "FAIL: versioned (registry) dependency in a member crate." >&2
+    exit 1
+fi
+# Every [workspace.dependencies] entry must be an in-tree path dependency.
+if sed -n '/^\[workspace.dependencies\]/,/^\[/p' Cargo.toml \
+    | grep -vE '^\[|^#|^[[:space:]]*$' \
+    | grep -v 'path = "crates/'; then
+    echo "FAIL: non-path entry in [workspace.dependencies]." >&2
+    exit 1
+fi
+echo "dependency guard: OK (tao-* path dependencies only)"
+
+# ---- Build + test, fully offline. ------------------------------------------
+cargo build --release --offline
+cargo test -q --offline
+
+# ---- Determinism spot-check: same seed, byte-identical output. -------------
+# (The end_to_end suite asserts this in-process too; this catches any
+# cross-process nondeterminism such as hash-order leakage.)
+strip_timing() { sed 's/finished in [0-9.]*s//'; }
+out1=$(cargo test -q --offline -p tao-core --test end_to_end deterministic 2>&1 | strip_timing)
+out2=$(cargo test -q --offline -p tao-core --test end_to_end deterministic 2>&1 | strip_timing)
+if [ "$out1" != "$out2" ]; then
+    echo "FAIL: two identical seeded runs produced different output." >&2
+    exit 1
+fi
+echo "determinism spot-check: OK"
+
+echo "CI: all green (offline)"

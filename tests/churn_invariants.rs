@@ -1,8 +1,8 @@
 //! Churn integration: overlay structure, soft-state, and routing stay
 //! consistent through interleaved joins and departures.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
 use tao_core::{SelectionStrategy, TaoBuilder};
 use tao_overlay::{CanOverlay, Point};
 use tao_sim::SimDuration;

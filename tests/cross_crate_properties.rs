@@ -2,24 +2,22 @@
 //! physical distance, region positions vs map placement, overlay routing
 //! over arbitrary join sequences.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tao_landmark::{region_position, LandmarkGrid, LandmarkNumber, LandmarkVector, SpaceFillingCurve};
 use tao_overlay::{CanOverlay, Point, Zone};
 use tao_sim::SimDuration;
 use tao_topology::NodeIdx;
+use tao_util::check::for_all;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
+use tao_util::{check, check_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Landmark numbers from the same grid cell are identical; vectors in
-    /// cells far apart along every axis produce different numbers.
-    #[test]
-    fn landmark_numbers_respect_grid_cells(
-        a in proptest::collection::vec(0.0f64..300.0, 3),
-        jitter in proptest::collection::vec(0.0f64..0.5, 3),
-    ) {
+/// Landmark numbers from the same grid cell are identical; vectors in
+/// cells far apart along every axis produce different numbers.
+#[test]
+fn landmark_numbers_respect_grid_cells() {
+    for_all("landmark_numbers_respect_grid_cells", 64, |rng| {
+        let a: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..300.0)).collect();
+        let jitter: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..0.5)).collect();
         let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).expect("valid grid");
         let va = LandmarkVector::from_millis(&a);
         // A sub-cell jitter (cells are 10 ms wide) cannot change the number
@@ -27,20 +25,22 @@ proptest! {
         let b: Vec<f64> = a.iter().zip(&jitter).map(|(x, j)| x + j).collect();
         let vb = LandmarkVector::from_millis(&b);
         if grid.cell(&va) == grid.cell(&vb) {
-            prop_assert_eq!(
+            check_eq!(
                 grid.landmark_number(&va, SpaceFillingCurve::Hilbert),
-                grid.landmark_number(&vb, SpaceFillingCurve::Hilbert)
+                grid.landmark_number(&vb, SpaceFillingCurve::Hilbert),
+                "a={a:?} b={b:?}"
             );
         }
-    }
+    });
+}
 
-    /// The region hash lands inside the unit box for any number/bits combo.
-    #[test]
-    fn region_positions_stay_in_bounds(
-        raw in any::<u64>(),
-        dims in 2usize..4,
-        resolution in 2u32..9,
-    ) {
+/// The region hash lands inside the unit box for any number/bits combo.
+#[test]
+fn region_positions_stay_in_bounds() {
+    for_all("region_positions_stay_in_bounds", 64, |rng| {
+        let raw: u64 = rng.gen();
+        let dims = rng.gen_range(2usize..4);
+        let resolution = rng.gen_range(2u32..9);
         let p = region_position(
             LandmarkNumber::new(raw as u128),
             64,
@@ -48,61 +48,74 @@ proptest! {
             resolution,
             SpaceFillingCurve::Hilbert,
         );
-        prop_assert_eq!(p.len(), dims);
+        check_eq!(p.len(), dims);
         for x in p {
-            prop_assert!((0.0..1.0).contains(&x));
+            check!((0.0..1.0).contains(&x), "raw={raw:#x} dims={dims} x={x}");
         }
-    }
+    });
+}
 
-    /// For any join sequence, CAN routing from any node reaches the owner
-    /// of any target.
-    #[test]
-    fn routing_always_reaches_the_owner(
-        seed in any::<u64>(),
-        n in 2usize..40,
-        queries in proptest::collection::vec((any::<u64>(), any::<u64>()), 5),
-    ) {
+/// For any join sequence, CAN routing from any node reaches the owner
+/// of any target.
+#[test]
+fn routing_always_reaches_the_owner() {
+    for_all("routing_always_reaches_the_owner", 64, |rng| {
+        let seed: u64 = rng.gen();
+        let n = rng.gen_range(2usize..40);
         let mut can = CanOverlay::new(2).expect("2-d CAN");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut join_rng = StdRng::seed_from_u64(seed);
         for i in 0..n {
-            can.join(NodeIdx(i as u32), Point::random(2, &mut rng));
+            can.join(NodeIdx(i as u32), Point::random(2, &mut join_rng));
         }
         let live: Vec<_> = can.live_nodes().collect();
-        for (qa, qb) in queries {
+        for _ in 0..5 {
+            let (qa, qb): (u64, u64) = (rng.gen(), rng.gen());
             let src = live[(qa % live.len() as u64) as usize];
             let target = Point::clamped(vec![
                 (qb % 10_000) as f64 / 10_000.0,
                 (qb / 10_000 % 10_000) as f64 / 10_000.0,
             ]);
             let route = can.route(src, &target).expect("routing succeeds");
-            prop_assert_eq!(*route.hops.last().expect("non-empty"), can.owner(&target));
+            check_eq!(
+                *route.hops.last().expect("non-empty"),
+                can.owner(&target),
+                "seed={seed:#x} n={n}"
+            );
         }
-    }
+    });
+}
 
-    /// Zone splitting preserves exact volume and containment at any depth.
-    #[test]
-    fn repeated_splits_partition_exactly(path in proptest::collection::vec(any::<bool>(), 1..40)) {
+/// Zone splitting preserves exact volume and containment at any depth.
+#[test]
+fn repeated_splits_partition_exactly() {
+    for_all("repeated_splits_partition_exactly", 64, |rng| {
+        let path: Vec<bool> = (0..rng.gen_range(1usize..40)).map(|_| rng.gen()).collect();
         let mut zone = Zone::whole(3);
         for (depth, take_upper) in path.into_iter().enumerate() {
             let axis = depth % 3;
             let (lo, hi) = zone.split(axis);
-            prop_assert!((lo.volume() + hi.volume() - zone.volume()).abs() < 1e-15);
-            prop_assert!(zone.contains_zone(&lo) && zone.contains_zone(&hi));
-            prop_assert!(lo.is_neighbor(&hi));
+            check!((lo.volume() + hi.volume() - zone.volume()).abs() < 1e-15);
+            check!(zone.contains_zone(&lo) && zone.contains_zone(&hi));
+            check!(lo.is_neighbor(&hi));
             zone = if take_upper { hi } else { lo };
         }
-        prop_assert!(zone.volume() > 0.0);
-    }
+        check!(zone.volume() > 0.0);
+    });
+}
 
-    /// The landmark ordering is always a permutation, and projecting the
-    /// vector preserves component values.
-    #[test]
-    fn orderings_are_permutations(ms in proptest::collection::vec(0.0f64..500.0, 1..12)) {
+/// The landmark ordering is always a permutation, and projecting the
+/// vector preserves component values.
+#[test]
+fn orderings_are_permutations() {
+    for_all("orderings_are_permutations", 64, |rng| {
+        let ms: Vec<f64> = (0..rng.gen_range(1usize..12))
+            .map(|_| rng.gen_range(0.0..500.0))
+            .collect();
         let v = LandmarkVector::from_millis(&ms);
         let mut ord = v.ordering();
         ord.sort_unstable();
-        prop_assert_eq!(ord, (0..ms.len()).collect::<Vec<_>>());
-    }
+        check_eq!(ord, (0..ms.len()).collect::<Vec<_>>(), "ms={ms:?}");
+    });
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Integration of the Table-1 lookup procedure across crates: landmark
 //! machinery → soft-state maps → overlay hosting.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
 use std::collections::HashMap;
 use tao_landmark::{LandmarkGrid, LandmarkVector};
 use tao_overlay::ecan::{EcanOverlay, RandomSelector};
