@@ -330,6 +330,58 @@ impl ChordOverlay {
         }
         Ok(ChordRoute { hops })
     }
+
+    /// Asserts the ring's structural invariants, panicking with a
+    /// description on the first violation:
+    ///
+    /// * **successor consistency** — every node is its own successor, and
+    ///   the successor of the point just past a node is the next node on
+    ///   the (wrapping) ring;
+    /// * **finger liveness and placement** — every finger targets a node
+    ///   that is on the ring, is not the owner, and lies inside the
+    ///   interval `[owner + 2^bit, owner + 2^(bit+1))` its slot covers.
+    ///
+    /// Intended for churn tests: call after `build_fingers` /
+    /// `rebuild_fingers_of` has repaired tables.
+    pub fn check_invariants(&self) {
+        if self.is_empty() {
+            return;
+        }
+        let ids: Vec<RingId> = self.node_ids().collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let next = ids[(i + 1) % ids.len()];
+            assert_eq!(
+                self.successor(id).expect("non-empty ring"),
+                id,
+                "node {id:#x} is not its own successor"
+            );
+            assert_eq!(
+                self.successor(id.wrapping_add(1)).expect("non-empty ring"),
+                next,
+                "ring order broken after {id:#x}"
+            );
+            for f in self.fingers(id) {
+                assert!(
+                    self.nodes.contains_key(&f.target),
+                    "finger bit {} of {id:#x} targets departed {:#x}",
+                    f.bit,
+                    f.target
+                );
+                assert_ne!(f.target, id, "finger bit {} of {id:#x} is a self-loop", f.bit);
+                let off = f.target.wrapping_sub(id);
+                assert!(
+                    off >= 1u64 << f.bit,
+                    "finger bit {} of {id:#x} undershoots its interval",
+                    f.bit
+                );
+                assert!(
+                    f.bit == 63 || off < 1u64 << (f.bit + 1),
+                    "finger bit {} of {id:#x} overshoots its interval",
+                    f.bit
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -366,6 +366,49 @@ impl EcanOverlay {
         }
         Ok(Route { hops })
     }
+
+    /// Asserts the eCAN's structural invariants, panicking with a
+    /// description on the first violation:
+    ///
+    /// * the underlying CAN's invariants (zone tiling, neighbor symmetry);
+    /// * every expressway table belongs to a live node;
+    /// * every entry has order ≥ 2, a representative that is live, is not
+    ///   the owner, and still owns space inside the entry's target box.
+    ///
+    /// Intended for churn tests, called after re-selection has repaired
+    /// tables (entries go stale by design between a departure/split and the
+    /// next [`EcanOverlay::reselect`]).
+    pub fn check_invariants(&self) {
+        self.can.check_invariants();
+        for (&owner, entries) in &self.tables {
+            assert!(
+                self.can.zone(owner).is_ok(),
+                "expressway table belongs to departed node {owner}"
+            );
+            for e in entries {
+                assert!(e.order >= 2, "{owner} has an order-{} entry", e.order);
+                assert_ne!(
+                    e.representative, owner,
+                    "{owner} chose itself as a representative"
+                );
+                let zones = self
+                    .can
+                    .zones(e.representative)
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "{owner}'s order-{} entry names departed {}",
+                            e.order, e.representative
+                        )
+                    });
+                assert!(
+                    zones.iter().any(|z| z.intersects(&e.target_box)),
+                    "{owner}'s order-{} representative {} left the target box",
+                    e.order,
+                    e.representative
+                );
+            }
+        }
+    }
 }
 
 /// The finest aligned-grid level that still contains `zone`: the number of

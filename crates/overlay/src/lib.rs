@@ -50,4 +50,5 @@ mod zone;
 
 pub use can::{CanOverlay, OverlayError, OverlayNodeId, Route};
 pub use point::Point;
+pub use tacan::TaCanOverlay;
 pub use zone::Zone;

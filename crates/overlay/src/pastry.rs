@@ -452,6 +452,50 @@ impl PastryOverlay {
         }
         Ok(PastryRoute { hops })
     }
+
+    /// Asserts the overlay's structural invariants, panicking with a
+    /// description on the first violation:
+    ///
+    /// * **routing-table constraint** — every filled `(row, digit)` slot
+    ///   holds a present node (not the owner) that shares `row` digits with
+    ///   the owner and has `digit` at position `row` — the prefix symmetry
+    ///   the paper's selection hook relies on;
+    /// * **leaf-set freshness** — every node's leaf set equals the nearest
+    ///   ids on the current membership (recomputed from scratch), so stale
+    ///   leaves left by departures are caught.
+    ///
+    /// Intended for churn tests: call after `build_tables` /
+    /// `rebuild_node` has repaired state.
+    pub fn check_invariants(&self) {
+        for (&id, s) in &self.nodes {
+            for row in 0..DIGITS {
+                for d in 0..16u8 {
+                    let Some(e) = s.table[(row as usize) * 16 + d as usize] else {
+                        continue;
+                    };
+                    assert!(
+                        self.nodes.contains_key(&e),
+                        "table ({row},{d:#x}) of {id:#018x} holds departed {e:#018x}"
+                    );
+                    assert_ne!(e, id, "table ({row},{d:#x}) of {id:#018x} is a self-loop");
+                    assert!(
+                        shared_prefix_len(e, id) >= row,
+                        "table ({row},{d:#x}) of {id:#018x} breaks the prefix constraint"
+                    );
+                    assert_eq!(
+                        digit(e, row),
+                        d,
+                        "table ({row},{d:#x}) of {id:#018x} has the wrong next digit"
+                    );
+                }
+            }
+            let expected = self.leaf_set_of(id);
+            assert_eq!(
+                s.leaves, expected,
+                "leaf set of {id:#018x} is stale (expected the nearest ids)"
+            );
+        }
+    }
 }
 
 /// Minimal wrapping distance between two ids on the 64-bit ring.

@@ -8,6 +8,7 @@
 //! half-updated simulator state.
 
 use crate::event::EventQueue;
+use crate::fault::{FaultPlan, Verdict};
 use crate::stats::NetStats;
 use crate::time::{SimDuration, SimTime};
 use std::fmt;
@@ -147,9 +148,14 @@ pub struct Simulator<M, L> {
     nodes: usize,
     stats: NetStats,
     payload_size: u64,
+    faults: Option<FaultPlan>,
+    /// `(time, seq)` of the last event popped; every subsequent pop must be
+    /// strictly greater, which is the determinism contract latency ties are
+    /// resolved by (insertion order, never heap internals).
+    last_event: Option<(SimTime, u64)>,
 }
 
-impl<M, L: LatencyModel> Simulator<M, L> {
+impl<M, L> Simulator<M, L> {
     /// Creates a simulator with no nodes at time [`SimTime::ORIGIN`].
     pub fn new(latency: L) -> Self {
         Simulator {
@@ -159,6 +165,8 @@ impl<M, L: LatencyModel> Simulator<M, L> {
             nodes: 0,
             stats: NetStats::new(),
             payload_size: 64,
+            faults: None,
+            last_event: None,
         }
     }
 
@@ -166,6 +174,19 @@ impl<M, L: LatencyModel> Simulator<M, L> {
     /// accounting (default 64).
     pub fn set_payload_size(&mut self, bytes: u64) {
         self.payload_size = bytes;
+    }
+
+    /// Installs a fault plan; subsequent sends and deliveries are filtered
+    /// through it. The plan's scheduled partition windows are recorded in
+    /// [`NetStats::partition_epochs`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.stats.record_partition_epochs(plan.partition_epoch_count());
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Registers a node and returns its id. Ids are dense and increasing.
@@ -195,21 +216,6 @@ impl<M, L: LatencyModel> Simulator<M, L> {
         self.queue.len()
     }
 
-    /// Injects a message from outside the simulation (e.g. the workload
-    /// driver); it is delivered after the model latency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either endpoint has not been registered.
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
-        self.check_node(from);
-        self.check_node(to);
-        let delay = self.latency.latency(from, to);
-        self.stats.record_message(self.payload_size);
-        self.queue
-            .schedule(self.now + delay, Pending::Deliver(Message { from, to, payload }));
-    }
-
     /// Arms a timer on `owner` firing after `delay`.
     ///
     /// # Panics
@@ -221,71 +227,156 @@ impl<M, L: LatencyModel> Simulator<M, L> {
             .schedule(self.now + delay, Pending::Fire(Timer { owner, payload }));
     }
 
-    /// Processes the earliest event, if any.
-    ///
-    /// Message deliveries call `on_message(engine, recipient, message)`;
-    /// timer firings are surfaced as a message from the owner to itself.
-    /// Returns the handler's output, or `None` when the queue is empty.
-    pub fn step<R>(
-        &mut self,
-        mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>) -> R,
-    ) -> Option<R> {
-        let ev = self.queue.pop()?;
-        debug_assert!(ev.at >= self.now, "time must be monotone");
-        self.now = ev.at;
-        let mut engine = Engine::new(self.now);
-        let out = match ev.event {
-            Pending::Deliver(msg) => {
-                let at = msg.to;
-                on_message(&mut engine, at, msg)
-            }
-            Pending::Fire(t) => {
-                let at = t.owner;
-                on_message(
-                    &mut engine,
-                    at,
-                    Message {
-                        from: t.owner,
-                        to: t.owner,
-                        payload: t.payload,
-                    },
-                )
-            }
-        };
-        let Engine { outgoing, timers, .. } = engine;
-        for (from, to, payload) in outgoing {
-            self.send(from, to, payload);
-        }
-        for (delay, owner, payload) in timers {
-            self.set_timer(owner, delay, payload);
-        }
-        Some(out)
-    }
-
-    /// Runs until the queue is empty or virtual time would pass `deadline`;
-    /// returns the number of events processed.
-    pub fn run_until(
-        &mut self,
-        deadline: SimTime,
-        mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>),
-    ) -> usize {
-        let mut processed = 0;
-        while let Some(next) = self.queue.peek_time() {
-            if next > deadline {
-                break;
-            }
-            self.step(&mut on_message);
-            processed += 1;
-        }
-        processed
-    }
-
     fn check_node(&self, id: NodeId) {
         assert!(
             id.0 < self.nodes,
             "node {id} is not registered (have {} nodes)",
             self.nodes
         );
+    }
+
+    /// Asserts the stable `(time, seq)` pop order that makes fault runs
+    /// replay identically across platforms.
+    fn note_popped(&mut self, at: SimTime, seq: u64) {
+        debug_assert!(at >= self.now, "time must be monotone");
+        debug_assert!(
+            self.last_event.map_or(true, |last| (at, seq) > last),
+            "events must pop in strict (time, seq) order"
+        );
+        self.last_event = Some((at, seq));
+        self.now = at;
+    }
+}
+
+impl<M: Clone, L: LatencyModel> Simulator<M, L> {
+    /// Injects a message from outside the simulation (e.g. the workload
+    /// driver); it is delivered after the model latency.
+    ///
+    /// With a [`FaultPlan`] installed the message may instead be dropped
+    /// (loss, partition cut, or a dead endpoint — recorded in
+    /// [`NetStats::drops`]), delayed by jitter, or duplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been registered.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
+        self.check_node(from);
+        self.check_node(to);
+        let delay = self.latency.latency(from, to);
+        let verdict = match &mut self.faults {
+            Some(plan) => plan.judge(from, to, self.now),
+            None => Verdict::Deliver {
+                extra: SimDuration::ZERO,
+                duplicate_extra: None,
+            },
+        };
+        match verdict {
+            Verdict::Drop => self.stats.record_drop(),
+            Verdict::Deliver { extra, duplicate_extra } => {
+                self.stats.record_message(self.payload_size);
+                if let Some(dup_extra) = duplicate_extra {
+                    // The duplicate is real traffic: charge it too.
+                    self.stats.record_message(self.payload_size);
+                    self.stats.record_duplicate();
+                    self.queue.schedule(
+                        self.now + delay + dup_extra,
+                        Pending::Deliver(Message { from, to, payload: payload.clone() }),
+                    );
+                }
+                self.queue.schedule(
+                    self.now + delay + extra,
+                    Pending::Deliver(Message { from, to, payload }),
+                );
+            }
+        }
+    }
+
+    /// Processes the earliest deliverable event, if any.
+    ///
+    /// Message deliveries call `on_message(engine, recipient, message)`;
+    /// timer firings are surfaced as a message from the owner to itself.
+    /// Events addressed to a crashed node are consumed silently (deliveries
+    /// are counted as drops; timers are simply lost) and processing moves on
+    /// to the next event, so `Some` means a handler actually ran. Returns
+    /// the handler's output, or `None` when the queue is empty.
+    pub fn step<R>(
+        &mut self,
+        on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>) -> R,
+    ) -> Option<R> {
+        self.step_bounded(SimTime::MAX, on_message)
+    }
+
+    /// [`step`](Self::step), but refuses to pop events past `deadline` —
+    /// they stay queued for a later call.
+    fn step_bounded<R>(
+        &mut self,
+        deadline: SimTime,
+        mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>) -> R,
+    ) -> Option<R> {
+        loop {
+            if self.queue.peek_time()? > deadline {
+                return None;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            self.note_popped(ev.at, ev.seq);
+            let (owner, msg) = match ev.event {
+                Pending::Deliver(msg) => {
+                    if self.node_is_down(msg.to) {
+                        self.stats.record_drop();
+                        continue;
+                    }
+                    (msg.to, msg)
+                }
+                Pending::Fire(t) => {
+                    if self.node_is_down(t.owner) {
+                        // A crashed node loses its pending timers.
+                        continue;
+                    }
+                    (
+                        t.owner,
+                        Message {
+                            from: t.owner,
+                            to: t.owner,
+                            payload: t.payload,
+                        },
+                    )
+                }
+            };
+            let mut engine = Engine::new(self.now);
+            let out = on_message(&mut engine, owner, msg);
+            let Engine { outgoing, timers, .. } = engine;
+            for (from, to, payload) in outgoing {
+                self.send(from, to, payload);
+            }
+            for (delay, owner, payload) in timers {
+                self.set_timer(owner, delay, payload);
+            }
+            return Some(out);
+        }
+    }
+
+    /// Runs until the queue is empty or virtual time would pass `deadline`;
+    /// returns the number of events *delivered* (faulted-away events are
+    /// consumed but not counted).
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>),
+    ) -> usize {
+        let mut processed = 0;
+        while self
+            .step_bounded(deadline, |engine, at, msg| on_message(engine, at, msg))
+            .is_some()
+        {
+            processed += 1;
+        }
+        processed
+    }
+
+    fn node_is_down(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .map_or(false, |plan| plan.is_down(node, self.now))
     }
 }
 
@@ -381,6 +472,90 @@ mod tests {
     }
 
     #[test]
+    fn lossy_plan_drops_are_counted_and_nothing_is_delivered() {
+        let mut sim = two_node_sim();
+        let mut plan = FaultPlan::new(11);
+        plan.drop_probability(1.0);
+        sim.set_fault_plan(plan);
+        for i in 0..10 {
+            sim.send(NodeId(0), NodeId(1), i);
+        }
+        assert!(sim.step(|_, _, m| m.payload).is_none());
+        assert_eq!(sim.stats().drops(), 10);
+        assert_eq!(sim.stats().messages(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_delivered_twice_and_counted() {
+        let mut sim = two_node_sim();
+        let mut plan = FaultPlan::new(12);
+        plan.duplicate_probability(1.0);
+        sim.set_fault_plan(plan);
+        sim.send(NodeId(0), NodeId(1), 7);
+        let mut seen = Vec::new();
+        while sim.step(|_, _, m| seen.push(m.payload)).is_some() {}
+        assert_eq!(seen, vec![7, 7]);
+        assert_eq!(sim.stats().duplicates(), 1);
+        assert_eq!(sim.stats().messages(), 2);
+    }
+
+    #[test]
+    fn deliveries_to_a_crashed_node_drop_until_recovery() {
+        let mut sim = two_node_sim();
+        let mut plan = FaultPlan::new(13);
+        // Node 1 is down for the first 10 ms of the run.
+        plan.crash_recover(NodeId(1), SimTime::ORIGIN, SimTime::from_micros(10_000));
+        sim.set_fault_plan(plan);
+        sim.send(NodeId(0), NodeId(1), 1); // arrives at 2 ms: dropped
+        assert!(sim.step(|_, _, m| m.payload).is_none());
+        assert_eq!(sim.stats().drops(), 1);
+        // Push the clock past recovery, then the link works again.
+        sim.set_timer(NodeId(0), SimDuration::from_millis(20), 0);
+        sim.step(|_, _, _| {});
+        sim.send(NodeId(0), NodeId(1), 2);
+        assert_eq!(sim.step(|_, _, m| m.payload), Some(2));
+    }
+
+    #[test]
+    fn crashed_nodes_lose_their_timers() {
+        let mut sim = two_node_sim();
+        let mut plan = FaultPlan::new(14);
+        plan.crash(NodeId(0), SimTime::ORIGIN);
+        sim.set_fault_plan(plan);
+        sim.set_timer(NodeId(0), SimDuration::from_millis(1), 9);
+        sim.set_timer(NodeId(1), SimDuration::from_millis(2), 5);
+        let mut fired = Vec::new();
+        while sim.step(|_, at, m| fired.push((at, m.payload))).is_some() {}
+        assert_eq!(fired, vec![(NodeId(1), 5)]);
+    }
+
+    #[test]
+    fn run_until_does_not_overshoot_deadline_past_dropped_events() {
+        let mut sim = two_node_sim();
+        let mut plan = FaultPlan::new(15);
+        plan.crash(NodeId(1), SimTime::ORIGIN);
+        sim.set_fault_plan(plan);
+        // A delivery at 2 ms that will be dropped (dead recipient), and a
+        // timer at 10 ms that lies beyond the deadline.
+        sim.send(NodeId(0), NodeId(1), 1);
+        sim.set_timer(NodeId(0), SimDuration::from_millis(10), 2);
+        let n = sim.run_until(SimTime::from_micros(5_000), |_, _, _| {});
+        assert_eq!(n, 0, "nothing deliverable before the deadline");
+        assert_eq!(sim.pending(), 1, "the 10 ms timer must stay queued");
+        assert_eq!(sim.stats().drops(), 1);
+    }
+
+    #[test]
+    fn partition_epochs_are_recorded_on_install() {
+        let mut sim = two_node_sim();
+        let mut plan = FaultPlan::new(16);
+        plan.partition(&[NodeId(0)], SimTime::ORIGIN, SimTime::from_micros(50))
+            .partition(&[NodeId(1)], SimTime::from_micros(60), SimTime::from_micros(70));
+        sim.set_fault_plan(plan);
+        assert_eq!(sim.stats().partition_epochs(), 2);
+    }
+
+    #[test]
     fn same_instant_events_process_in_insertion_order() {
         let mut sim = two_node_sim();
         sim.set_timer(NodeId(0), SimDuration::ZERO, 1);
@@ -471,6 +646,54 @@ mod properties {
             let mut seen = vec![0usize; sends.len()];
             while sim.step(|_, _, msg| seen[msg.payload] += 1).is_some() {}
             check!(seen.iter().all(|&c| c == 1), "counts: {seen:?}");
+        });
+    }
+
+    /// Fault injection preserves the engine's core guarantee: the same
+    /// seed and plan replay bit-identically, drops and all.
+    #[test]
+    fn faulty_runs_replay_identically() {
+        for_all("faulty_runs_replay_identically", 128, |rng| {
+            let plan_seed: u64 = rng.gen();
+            let drop = rng.gen_range(0.0..0.5);
+            let dup = rng.gen_range(0.0..0.2);
+            let jitter_us = rng.gen_range(0u64..5_000);
+            let sends: Vec<(usize, usize, u16)> = (0..rng.gen_range(1usize..30))
+                .map(|_| (rng.gen_range(0..4), rng.gen_range(0..4), rng.gen()))
+                .collect();
+            let run = || {
+                let mut sim: Simulator<u16, _> =
+                    Simulator::new(UniformLatency::new(SimDuration::from_millis(3)));
+                for _ in 0..4 {
+                    sim.add_node();
+                }
+                let mut plan = FaultPlan::new(plan_seed);
+                plan.drop_probability(drop)
+                    .duplicate_probability(dup)
+                    .jitter(SimDuration::from_micros(jitter_us))
+                    .partition(&[NodeId(0)], SimTime::ORIGIN, SimTime::from_micros(4_000))
+                    .crash_recover(
+                        NodeId(3),
+                        SimTime::from_micros(2_000),
+                        SimTime::from_micros(9_000),
+                    );
+                sim.set_fault_plan(plan);
+                for &(a, b, p) in &sends {
+                    sim.send(NodeId(a), NodeId(b), p);
+                }
+                let mut log = Vec::new();
+                while sim
+                    .step(|engine, at, msg| {
+                        if msg.payload % 7 == 0 && msg.payload < 10_000 {
+                            engine.send(at, msg.from, msg.payload + 1);
+                        }
+                        log.push((at, msg.payload));
+                    })
+                    .is_some()
+                {}
+                (log, sim.now(), sim.stats())
+            };
+            check_eq!(run(), run());
         });
     }
 }

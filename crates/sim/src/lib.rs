@@ -9,8 +9,11 @@
 //! * [`Simulator`] — an actor-style message-passing engine where nodes
 //!   exchange messages whose delivery latency is supplied by a pluggable
 //!   [`LatencyModel`],
-//! * [`NetStats`] — message/byte accounting, so experiments can report
-//!   communication cost.
+//! * [`NetStats`] — message/byte accounting (plus drop/duplicate/partition
+//!   accounting under faults), so experiments can report communication cost,
+//! * [`FaultPlan`] — seeded, bit-reproducible fault injection: message loss,
+//!   jitter/reordering, duplicates, partitions with heal times, and
+//!   crash-stop / crash-recover schedules.
 //!
 //! The paper's soft-state machinery (TTL decay, refresh timers,
 //! publish/subscribe notifications) is time-driven; running it on virtual
@@ -46,10 +49,12 @@
 
 mod engine;
 mod event;
+mod fault;
 mod stats;
 mod time;
 
 pub use engine::{Engine, LatencyModel, Message, NodeId, Simulator, UniformLatency};
 pub use event::{EventQueue, ScheduledEvent};
+pub use fault::FaultPlan;
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,8 @@
 //! Network accounting: counts of messages and bytes moved through the
 //! simulator, so experiments can report communication cost (e.g. the
-//! maintenance-traffic comparison in §5.2 of the paper).
+//! maintenance-traffic comparison in §5.2 of the paper), plus fault
+//! accounting (drops, duplicates, partition epochs) when a
+//! [`FaultPlan`](crate::FaultPlan) is installed.
 
 use std::fmt;
 
@@ -21,6 +23,9 @@ use std::fmt;
 pub struct NetStats {
     messages: u64,
     bytes: u64,
+    drops: u64,
+    duplicates: u64,
+    partition_epochs: u64,
 }
 
 impl NetStats {
@@ -35,6 +40,21 @@ impl NetStats {
         self.bytes += bytes;
     }
 
+    /// Records one dropped message (loss, partition cut, or dead endpoint).
+    pub fn record_drop(&mut self) {
+        self.drops += 1;
+    }
+
+    /// Records one duplicated delivery injected by the fault layer.
+    pub fn record_duplicate(&mut self) {
+        self.duplicates += 1;
+    }
+
+    /// Records `epochs` scheduled partition windows.
+    pub fn record_partition_epochs(&mut self, epochs: u64) {
+        self.partition_epochs += epochs;
+    }
+
     /// Total messages recorded.
     pub fn messages(&self) -> u64 {
         self.messages
@@ -45,10 +65,28 @@ impl NetStats {
         self.bytes
     }
 
+    /// Total messages dropped by the fault layer.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Total duplicate deliveries injected by the fault layer.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Total partition windows scheduled on the installed fault plan.
+    pub fn partition_epochs(&self) -> u64 {
+        self.partition_epochs
+    }
+
     /// Adds another stats block into this one.
     pub fn merge(&mut self, other: NetStats) {
         self.messages += other.messages;
         self.bytes += other.bytes;
+        self.drops += other.drops;
+        self.duplicates += other.duplicates;
+        self.partition_epochs += other.partition_epochs;
     }
 
     /// Difference since an earlier snapshot.
@@ -57,22 +95,27 @@ impl NetStats {
     ///
     /// Panics if `earlier` has larger counters than `self`.
     pub fn since(&self, earlier: NetStats) -> NetStats {
+        let sub = |a: u64, b: u64| a.checked_sub(b).expect("snapshot is newer than self");
         NetStats {
-            messages: self
-                .messages
-                .checked_sub(earlier.messages)
-                .expect("snapshot is newer than self"),
-            bytes: self
-                .bytes
-                .checked_sub(earlier.bytes)
-                .expect("snapshot is newer than self"),
+            messages: sub(self.messages, earlier.messages),
+            bytes: sub(self.bytes, earlier.bytes),
+            drops: sub(self.drops, earlier.drops),
+            duplicates: sub(self.duplicates, earlier.duplicates),
+            partition_epochs: sub(self.partition_epochs, earlier.partition_epochs),
         }
     }
 }
 
 impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} msgs / {} bytes", self.messages, self.bytes)
+        write!(f, "{} msgs / {} bytes", self.messages, self.bytes)?;
+        if self.drops > 0 {
+            write!(f, " / {} dropped", self.drops)?;
+        }
+        if self.duplicates > 0 {
+            write!(f, " / {} duplicated", self.duplicates)?;
+        }
+        Ok(())
     }
 }
 
@@ -84,23 +127,34 @@ mod tests {
     fn records_and_merges() {
         let mut a = NetStats::new();
         a.record_message(10);
+        a.record_drop();
         let mut b = NetStats::new();
         b.record_message(5);
         b.record_message(5);
+        b.record_duplicate();
+        b.record_partition_epochs(2);
         a.merge(b);
         assert_eq!(a.messages(), 3);
         assert_eq!(a.bytes(), 20);
+        assert_eq!(a.drops(), 1);
+        assert_eq!(a.duplicates(), 1);
+        assert_eq!(a.partition_epochs(), 2);
     }
 
     #[test]
     fn since_subtracts_snapshots() {
         let mut s = NetStats::new();
         s.record_message(100);
+        s.record_drop();
         let snap = s;
         s.record_message(50);
+        s.record_drop();
+        s.record_duplicate();
         let delta = s.since(snap);
         assert_eq!(delta.messages(), 1);
         assert_eq!(delta.bytes(), 50);
+        assert_eq!(delta.drops(), 1);
+        assert_eq!(delta.duplicates(), 1);
     }
 
     #[test]
@@ -108,5 +162,15 @@ mod tests {
         let mut s = NetStats::new();
         s.record_message(7);
         assert_eq!(s.to_string(), "1 msgs / 7 bytes");
+    }
+
+    #[test]
+    fn display_appends_fault_counters_only_when_nonzero() {
+        let mut s = NetStats::new();
+        s.record_message(7);
+        s.record_drop();
+        s.record_drop();
+        s.record_duplicate();
+        assert_eq!(s.to_string(), "1 msgs / 7 bytes / 2 dropped / 1 duplicated");
     }
 }

@@ -53,6 +53,6 @@ mod store;
 
 pub use config::{SoftStateConfig, SoftStateConfigBuilder};
 pub use entry::{LoadStats, NodeInfo, SoftStateEntry};
-pub use maintenance::{MaintenancePolicy, MaintenanceReport};
+pub use maintenance::{refresh_round, MaintenancePolicy, MaintenanceReport, RefreshReport};
 pub use map::{ZoneKey, ZoneMap};
-pub use store::GlobalState;
+pub use store::{ConvergenceReport, GlobalState};

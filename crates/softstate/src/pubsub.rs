@@ -181,6 +181,35 @@ impl PubSub {
         hit.dedup();
         hit
     }
+
+    /// Subscribers that are no longer alive per `live` — *orphaned*
+    /// subscriptions left behind by crashed nodes. Deduplicated, sorted.
+    pub fn orphaned_subscribers(&self, mut live: impl FnMut(OverlayNodeId) -> bool) -> Vec<OverlayNodeId> {
+        let mut orphans: Vec<OverlayNodeId> = self
+            .subs
+            .values()
+            .flatten()
+            .map(|s| s.subscriber)
+            .filter(|&n| !live(n))
+            .collect();
+        orphans.sort();
+        orphans.dedup();
+        orphans
+    }
+
+    /// The lazy-repair path for subscriptions: drops every subscription
+    /// whose subscriber is no longer alive per `live`; returns how many were
+    /// removed. After this, [`PubSub::orphaned_subscribers`] with the same
+    /// predicate returns an empty list.
+    pub fn prune_orphans(&mut self, mut live: impl FnMut(OverlayNodeId) -> bool) -> usize {
+        let mut removed = 0;
+        for list in self.subs.values_mut() {
+            let before = list.len();
+            list.retain(|s| live(s.subscriber));
+            removed += before - list.len();
+        }
+        removed
+    }
 }
 
 /// One subscriber's delivery in a dissemination round.

@@ -213,6 +213,58 @@ impl GlobalState {
     pub fn maps(&self) -> impl Iterator<Item = &ZoneMap> {
         self.maps.values()
     }
+
+    /// Compares the region maps against ground truth: `members` is the true
+    /// live membership (with its current [`NodeInfo`]), and every member
+    /// must have a live entry in the map of each high-order zone enclosing
+    /// its CAN zone, while no map may hold a live entry for a node outside
+    /// the membership. The harness's definition of *converged* after faults
+    /// heal and TTL-many maintenance rounds run.
+    pub fn convergence_report(
+        &self,
+        ecan: &EcanOverlay,
+        members: &[NodeInfo],
+        now: SimTime,
+    ) -> ConvergenceReport {
+        let live: std::collections::HashSet<OverlayNodeId> =
+            members.iter().map(|i| i.node).collect();
+        let mut missing = 0;
+        for info in members {
+            for region in ecan.enclosing_high_order_zones(info.node) {
+                let present = self
+                    .map(&region)
+                    .map_or(false, |m| m.live_entries(now).any(|e| e.info.node == info.node));
+                if !present {
+                    missing += 1;
+                }
+            }
+        }
+        let stale = self
+            .maps
+            .values()
+            .flat_map(|m| m.live_entries(now))
+            .filter(|e| !live.contains(&e.info.node))
+            .count();
+        ConvergenceReport { missing, stale }
+    }
+}
+
+/// Divergence of the global state from ground-truth membership, as measured
+/// by [`GlobalState::convergence_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConvergenceReport {
+    /// `(member, region)` pairs where the member has no live entry in the
+    /// region's map even though the region encloses its zone.
+    pub missing: usize,
+    /// Live map entries naming nodes outside the ground-truth membership.
+    pub stale: usize,
+}
+
+impl ConvergenceReport {
+    /// `true` when the maps exactly mirror the membership.
+    pub fn is_converged(&self) -> bool {
+        self.missing == 0 && self.stale == 0
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +365,27 @@ mod tests {
         let total: usize = hosts.values().sum();
         assert_eq!(total, state.total_entries());
         assert!(state.mean_entries_per_host(ecan.can()) > 0.0);
+    }
+
+    #[test]
+    fn convergence_report_counts_missing_and_stale() {
+        let (ecan, mut state) = setup(128);
+        let a = info_for(&state, 1, [10.0, 50.0, 90.0]);
+        let b = info_for(&state, 2, [12.0, 52.0, 88.0]);
+        state.publish(a.clone(), &ecan, SimTime::ORIGIN);
+        // a published, b did not: b's regions are all missing it.
+        let report = state.convergence_report(&ecan, &[a.clone(), b.clone()], SimTime::ORIGIN);
+        assert_eq!(report.missing, ecan.enclosing_high_order_zones(b.node).len());
+        assert_eq!(report.stale, 0);
+        assert!(!report.is_converged());
+        // Publish b too: converged against {a, b}...
+        state.publish(b.clone(), &ecan, SimTime::ORIGIN);
+        let report = state.convergence_report(&ecan, &[a.clone(), b], SimTime::ORIGIN);
+        assert!(report.is_converged(), "diverged: {report:?}");
+        // ...but with b out of the membership its entries are stale.
+        let report = state.convergence_report(&ecan, &[a], SimTime::ORIGIN);
+        assert!(report.stale > 0);
+        assert!(!report.is_converged());
     }
 
     #[test]

@@ -47,4 +47,34 @@ if [ "$out1" != "$out2" ]; then
 fi
 echo "determinism spot-check: OK"
 
+# ---- Faults stage: fault injection + soft-state convergence. ----------------
+cargo test -q --offline -p tao-core --test fault_injection
+cargo test -q --offline -p tao-core --test softstate_convergence
+
+# Cross-process fault determinism: the canonical fault scenario (seeded
+# FaultPlan: loss + jitter + duplicates + partition + crashes) must produce
+# a byte-identical fingerprint — delivery log digest, final clock, NetStats
+# — in two separate processes.
+fingerprint() {
+    cargo test -q --offline -p tao-core --test fault_injection \
+        fault_fingerprint_for_ci -- --nocapture 2>&1 | grep '^FAULT_FINGERPRINT'
+}
+fp1=$(fingerprint)
+fp2=$(fingerprint)
+if [ -z "$fp1" ]; then
+    echo "FAIL: fault fingerprint test produced no fingerprint line." >&2
+    exit 1
+fi
+if [ "$fp1" != "$fp2" ]; then
+    echo "FAIL: same seed + fault plan diverged across processes." >&2
+    echo "  run 1: $fp1" >&2
+    echo "  run 2: $fp2" >&2
+    exit 1
+fi
+echo "fault determinism: OK ($fp1)"
+
+# Smoke: the churn example runs its bonus simulation under a lossy plan.
+cargo run -q --release --offline --example churn_and_pubsub > /dev/null
+echo "faults stage: OK"
+
 echo "CI: all green (offline)"

@@ -4,7 +4,10 @@
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
 use tao_core::{SelectionStrategy, TaoBuilder};
-use tao_overlay::{CanOverlay, Point};
+use tao_overlay::chord::{ChordOverlay, RandomFingerSelector};
+use tao_overlay::ecan::{EcanOverlay, RandomSelector};
+use tao_overlay::pastry::{PastryOverlay, RandomEntrySelector};
+use tao_overlay::{CanOverlay, Point, TaCanOverlay};
 use tao_sim::SimDuration;
 use tao_softstate::MaintenancePolicy;
 use tao_topology::{LatencyAssignment, NodeIdx, TransitStubParams};
@@ -75,6 +78,171 @@ fn zone_coverage_is_preserved_through_churn() {
             .expect("owner is live")
             .iter()
             .any(|z| z.contains(&p)));
+    }
+}
+
+#[test]
+fn pastry_survives_heavy_interleaved_churn() {
+    let mut pastry = PastryOverlay::new(8);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut live = Vec::new();
+    for i in 0..64u32 {
+        let id = rng.gen();
+        pastry.join(NodeIdx(i), id);
+        live.push(id);
+    }
+    pastry.build_tables(&mut RandomEntrySelector::new(12));
+    pastry.check_invariants();
+    // 200 churn events; tables are rebuilt every 25 (leaf sets and routing
+    // slots must be exact again after each rebuild, never below 16 nodes).
+    let mut next_underlay = 64u32;
+    for step in 0..200 {
+        if rng.gen_bool(0.5) && pastry.len() > 16 {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            pastry.leave(victim).expect("victim is live");
+        } else {
+            let id = rng.gen();
+            pastry.join(NodeIdx(next_underlay), id);
+            live.push(id);
+            next_underlay += 1;
+        }
+        if step % 25 == 24 {
+            pastry.build_tables(&mut RandomEntrySelector::new(13 + step as u64));
+            pastry.check_invariants();
+        }
+    }
+    pastry.build_tables(&mut RandomEntrySelector::new(99));
+    pastry.check_invariants();
+    // Routing from any live node lands on the key's numerical root.
+    for _ in 0..100 {
+        let start = live[rng.gen_range(0..live.len())];
+        let key = rng.gen();
+        let route = pastry.route(start, key).expect("routing succeeds");
+        assert_eq!(
+            *route.hops.last().expect("non-empty"),
+            pastry.root_of(key).expect("root exists")
+        );
+    }
+}
+
+#[test]
+fn chord_survives_heavy_interleaved_churn() {
+    let mut ring = ChordOverlay::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut live = Vec::new();
+    for i in 0..64u32 {
+        let id = rng.gen();
+        ring.join(NodeIdx(i), id);
+        live.push(id);
+    }
+    ring.build_fingers(&mut RandomFingerSelector::new(22));
+    ring.check_invariants();
+    let mut next_underlay = 64u32;
+    for step in 0..200 {
+        if rng.gen_bool(0.5) && ring.len() > 16 {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            ring.leave(victim).expect("victim is live");
+        } else {
+            let id = rng.gen();
+            ring.join(NodeIdx(next_underlay), id);
+            live.push(id);
+            next_underlay += 1;
+        }
+        if step % 25 == 24 {
+            ring.build_fingers(&mut RandomFingerSelector::new(23 + step as u64));
+            ring.check_invariants();
+        }
+    }
+    ring.build_fingers(&mut RandomFingerSelector::new(199));
+    ring.check_invariants();
+    // Greedy finger routing terminates at each key's successor.
+    for _ in 0..100 {
+        let start = live[rng.gen_range(0..live.len())];
+        let key = rng.gen();
+        let route = ring.route(start, key).expect("routing succeeds");
+        assert_eq!(
+            *route.hops.last().expect("non-empty"),
+            ring.successor(key).expect("successor exists")
+        );
+    }
+}
+
+#[test]
+fn tacan_survives_heavy_interleaved_churn() {
+    const LANDMARKS: usize = 4;
+    let mut tacan = TaCanOverlay::new(2, LANDMARKS).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(31);
+    // Landmark orderings cycle through rotations of the identity — a crude
+    // stand-in for "nodes near different landmarks" that still exercises
+    // every bin of the binned join.
+    let ordering_for = |k: usize| -> Vec<usize> {
+        (0..LANDMARKS).map(|i| (i + k) % LANDMARKS).collect()
+    };
+    let mut live = Vec::new();
+    for i in 0..64u32 {
+        live.push(tacan.join(NodeIdx(i), &ordering_for(i as usize), &mut rng));
+    }
+    tacan.check_invariants();
+    let mut next_underlay = 64u32;
+    for step in 0..200usize {
+        if rng.gen_bool(0.5) && tacan.len() > 16 {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            tacan.leave(victim).expect("victim is live");
+        } else {
+            live.push(tacan.join(NodeIdx(next_underlay), &ordering_for(step), &mut rng));
+            next_underlay += 1;
+        }
+        if step % 25 == 24 {
+            tacan.check_invariants();
+        }
+    }
+    tacan.check_invariants();
+    // The landmark-binned CAN still routes to the owner underneath.
+    for _ in 0..100 {
+        let src = live[rng.gen_range(0..live.len())];
+        let target = Point::random(2, &mut rng);
+        let route = tacan.route(src, &target).expect("routing succeeds");
+        assert_eq!(*route.hops.last().expect("non-empty"), tacan.can().owner(&target));
+    }
+}
+
+#[test]
+fn ecan_survives_interleaved_churn_with_reselection() {
+    let mut can = CanOverlay::new(2).expect("2-d CAN");
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut live = Vec::new();
+    for i in 0..64u32 {
+        live.push(can.join(NodeIdx(i), Point::random(2, &mut rng)));
+    }
+    let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(38));
+    ecan.check_invariants();
+    let mut next_underlay = 64u32;
+    for step in 0..200 {
+        if rng.gen_bool(0.5) && ecan.can().len() > 16 {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            ecan.depart(victim).expect("victim is live");
+        } else {
+            live.push(ecan.join_unselected(NodeIdx(next_underlay), Point::random(2, &mut rng)));
+            next_underlay += 1;
+        }
+        // Expressway tables go stale under churn by design; invariants hold
+        // at every re-selection point.
+        if step % 25 == 24 {
+            ecan.reselect(&mut RandomSelector::new(39 + step as u64));
+            ecan.check_invariants();
+        }
+    }
+    ecan.reselect(&mut RandomSelector::new(999));
+    ecan.check_invariants();
+    // Express routing still terminates at the owner.
+    for _ in 0..100 {
+        let src = live[rng.gen_range(0..live.len())];
+        let target = Point::random(2, &mut rng);
+        let route = ecan.route_express(src, &target).expect("routing succeeds");
+        assert_eq!(
+            *route.hops.last().expect("non-empty"),
+            ecan.can().owner(&target)
+        );
     }
 }
 
