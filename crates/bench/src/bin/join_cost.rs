@@ -14,7 +14,7 @@
 //! neighbor it found. This quantifies the paper's core efficiency claim:
 //! "existing techniques … are either inaccurate or expensive".
 
-use std::collections::HashSet;
+use tao_util::det::DetSet;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
@@ -70,7 +70,7 @@ fn main() {
     let underlays: Vec<NodeIdx> = live.iter().map(|&id| tao.ecan().can().underlay(id)).collect();
 
     // Joiners: routers not already in the overlay.
-    let taken: HashSet<NodeIdx> = underlays.iter().copied().collect();
+    let taken: DetSet<NodeIdx> = underlays.iter().copied().collect();
     let mut rng = StdRng::seed_from_u64(402);
     let joiners: Vec<NodeIdx> = tao
         .topology()
@@ -145,7 +145,7 @@ fn simulate_ers(
     let boot_idx = live.iter().position(|&id| id == bootstrap).expect("bootstrap is live");
     sim.send(joiner_sim, NodeId(boot_idx), Msg::Flood { ttl: ERS_RING_LIMIT });
 
-    let mut visited: HashSet<usize> = HashSet::new();
+    let mut visited: DetSet<usize> = DetSet::new();
     let neighbors_of: Vec<Vec<usize>> = live
         .iter()
         .map(|&id| {

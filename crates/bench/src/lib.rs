@@ -181,7 +181,7 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every slot is filled"))
+        .map(|s| s.expect("every slot is filled")) // tao-lint: allow(no-unwrap-in-lib, reason = "every slot is filled")
         .collect()
 }
 

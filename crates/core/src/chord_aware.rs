@@ -8,7 +8,7 @@
 //! ([`tao_softstate::ring::RingState`]) → finger selection by looking up
 //! the target interval's candidates and RTT-probing the top X.
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
@@ -32,7 +32,7 @@ use crate::params::{ExperimentParams, SelectionStrategy};
 pub struct GlobalRingSelector<'a> {
     state: &'a RingState,
     oracle: &'a RttOracle,
-    records: &'a HashMap<RingId, RingRecord>,
+    records: &'a DetMap<RingId, RingRecord>,
     rtt_budget: usize,
     max_hosts: usize,
     now: SimTime,
@@ -40,7 +40,7 @@ pub struct GlobalRingSelector<'a> {
     /// One wide candidate fetch per owner, shared across all of its
     /// fingers: the node retrieves its physically-close peer set once and
     /// carves per-interval choices out of it.
-    cache: HashMap<RingId, Vec<RingRecord>>,
+    cache: DetMap<RingId, Vec<RingRecord>>,
 }
 
 impl<'a> GlobalRingSelector<'a> {
@@ -52,7 +52,7 @@ impl<'a> GlobalRingSelector<'a> {
     pub fn new(
         state: &'a RingState,
         oracle: &'a RttOracle,
-        records: &'a HashMap<RingId, RingRecord>,
+        records: &'a DetMap<RingId, RingRecord>,
         rtt_budget: usize,
         max_hosts: usize,
         now: SimTime,
@@ -68,13 +68,13 @@ impl<'a> GlobalRingSelector<'a> {
             max_hosts,
             now,
             fallback_rng: StdRng::seed_from_u64(seed),
-            cache: HashMap::new(),
+            cache: DetMap::new(),
         }
     }
 
     fn candidates_for(&mut self, owner: RingId, ring: &ChordOverlay) -> &[RingRecord] {
         if !self.cache.contains_key(&owner) {
-            let query = self.records.get(&owner).expect("owner has published");
+            let query = self.records.get(&owner).expect("owner has published"); // tao-lint: allow(no-unwrap-in-lib, reason = "owner has published")
             // Fetch wide: enough physically-close peers that every finger
             // interval of interest overlaps the set.
             let found = self.state.lookup_hosted(
@@ -86,13 +86,13 @@ impl<'a> GlobalRingSelector<'a> {
             );
             self.cache.insert(owner, found);
         }
-        self.cache.get(&owner).expect("just inserted")
+        self.cache.get(&owner).expect("just inserted") // tao-lint: allow(no-unwrap-in-lib, reason = "just inserted")
     }
 }
 
 impl FingerSelector for GlobalRingSelector<'_> {
     fn select(&mut self, owner: RingId, candidates: &[RingId], ring: &ChordOverlay) -> RingId {
-        let me = self.records.get(&owner).expect("owner has published").underlay;
+        let me = self.records.get(&owner).expect("owner has published").underlay; // tao-lint: allow(no-unwrap-in-lib, reason = "owner has published")
         let budget = self.rtt_budget;
         let close = self.candidates_for(owner, ring);
         let usable: Vec<(tao_topology::NodeIdx, RingId)> = close
@@ -108,7 +108,7 @@ impl FingerSelector for GlobalRingSelector<'_> {
             .into_iter()
             .map(|(underlay, id)| (self.oracle.measure(me, underlay), id))
             .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
-            .expect("usable is non-empty")
+            .expect("usable is non-empty") // tao-lint: allow(no-unwrap-in-lib, reason = "usable is non-empty")
             .1
     }
 }
@@ -119,7 +119,7 @@ pub struct ChordAware {
     oracle: RttOracle,
     ring: ChordOverlay,
     state: RingState,
-    records: HashMap<RingId, RingRecord>,
+    records: DetMap<RingId, RingRecord>,
     params: ExperimentParams,
 }
 
@@ -155,12 +155,12 @@ impl ChordAware {
             params.grid_bits,
             ceiling * 2,
         )
-        .expect("validated grid parameters");
+        .expect("validated grid parameters"); // tao-lint: allow(no-unwrap-in-lib, reason = "validated grid parameters")
         let config = SoftStateConfig::builder(grid).build();
 
         let mut ring = ChordOverlay::new();
         let mut state = RingState::new(config);
-        let mut records = HashMap::new();
+        let mut records = DetMap::new();
         let now = SimTime::ORIGIN;
         for underlay in topology.sample_nodes(params.overlay_nodes, &mut rng) {
             let id: RingId = rng.gen();
@@ -251,9 +251,9 @@ impl ChordAware {
             if route.hop_count() == 0 {
                 continue;
             }
-            let home = *route.hops.last().expect("non-empty");
-            let me = self.ring.underlay(start).expect("on ring");
-            let dst = self.ring.underlay(home).expect("on ring");
+            let home = *route.hops.last().expect("non-empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "non-empty")
+            let me = self.ring.underlay(start).expect("on ring"); // tao-lint: allow(no-unwrap-in-lib, reason = "on ring")
+            let dst = self.ring.underlay(home).expect("on ring"); // tao-lint: allow(no-unwrap-in-lib, reason = "on ring")
             let direct = self.oracle.ground_truth(me, dst);
             if direct.is_zero() {
                 continue;
@@ -261,8 +261,8 @@ impl ChordAware {
             let mut path = SimDuration::ZERO;
             for w in route.hops.windows(2) {
                 path += self.oracle.ground_truth(
-                    self.ring.underlay(w[0]).expect("on ring"),
-                    self.ring.underlay(w[1]).expect("on ring"),
+                    self.ring.underlay(w[0]).expect("on ring"), // tao-lint: allow(no-unwrap-in-lib, reason = "on ring")
+                    self.ring.underlay(w[1]).expect("on ring"), // tao-lint: allow(no-unwrap-in-lib, reason = "on ring")
                 );
             }
             summary.add(path / direct);

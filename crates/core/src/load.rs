@@ -6,7 +6,7 @@
 //! candidates by RTT inflated by utilization, so a nearby-but-saturated
 //! node loses to a slightly farther idle one.
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
@@ -22,7 +22,7 @@ use tao_topology::RttOracle;
 /// strong nodes (10% at 100x, 30% at 10x, 60% at 1x).
 #[derive(Debug, Clone)]
 pub struct LoadModel {
-    stats: HashMap<OverlayNodeId, LoadStats>,
+    stats: DetMap<OverlayNodeId, LoadStats>,
 }
 
 impl LoadModel {
@@ -66,7 +66,7 @@ impl LoadModel {
         assert!(amount >= 0.0, "load must be non-negative");
         self.stats
             .get_mut(&node)
-            .expect("unknown node in load model")
+            .expect("unknown node in load model") // tao-lint: allow(no-unwrap-in-lib, reason = "unknown node in load model")
             .current_load += amount;
     }
 
@@ -141,7 +141,7 @@ impl NeighborSelector for LoadAwareSelector<'_> {
                     self.loads.stats(b),
                 );
                 sa.partial_cmp(&sb)
-                    .expect("scores are finite")
+                    .expect("scores are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "scores are finite")
                     .then(a.cmp(&b))
             })
             .unwrap_or_else(|| {

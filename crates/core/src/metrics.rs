@@ -78,7 +78,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples")); // tao-lint: allow(no-unwrap-in-lib, reason = "finite samples")
         let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
         sorted[rank]
     }

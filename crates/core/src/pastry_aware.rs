@@ -8,7 +8,7 @@
 //! region ([`tao_softstate::prefix::PrefixState`]), followed by a handful
 //! of real RTT probes.
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
@@ -34,7 +34,7 @@ use crate::params::{ExperimentParams, SelectionStrategy};
 pub struct GlobalPrefixSelector<'a> {
     state: &'a PrefixState,
     oracle: &'a RttOracle,
-    records: &'a HashMap<PastryId, PrefixRecord>,
+    records: &'a DetMap<PastryId, PrefixRecord>,
     rtt_budget: usize,
     overscan: usize,
     now: SimTime,
@@ -50,7 +50,7 @@ impl<'a> GlobalPrefixSelector<'a> {
     pub fn new(
         state: &'a PrefixState,
         oracle: &'a RttOracle,
-        records: &'a HashMap<PastryId, PrefixRecord>,
+        records: &'a DetMap<PastryId, PrefixRecord>,
         rtt_budget: usize,
         overscan: usize,
         now: SimTime,
@@ -77,7 +77,7 @@ impl EntrySelector for GlobalPrefixSelector<'_> {
         candidates: &[PastryId],
         _overlay: &PastryOverlay,
     ) -> PastryId {
-        let query = self.records.get(&owner).expect("owner has published");
+        let query = self.records.get(&owner).expect("owner has published"); // tao-lint: allow(no-unwrap-in-lib, reason = "owner has published")
         // All candidates share `row` digits with the owner and one more
         // digit among themselves: that (row+1)-digit prefix is the slot's
         // region.
@@ -103,7 +103,7 @@ impl EntrySelector for GlobalPrefixSelector<'_> {
             .into_iter()
             .map(|r| (self.oracle.measure(me, r.underlay), r.id))
             .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
-            .expect("usable is non-empty")
+            .expect("usable is non-empty") // tao-lint: allow(no-unwrap-in-lib, reason = "usable is non-empty")
             .1
     }
 }
@@ -114,7 +114,7 @@ pub struct PastryAware {
     oracle: RttOracle,
     overlay: PastryOverlay,
     state: PrefixState,
-    records: HashMap<PastryId, PrefixRecord>,
+    records: DetMap<PastryId, PrefixRecord>,
     params: ExperimentParams,
 }
 
@@ -149,14 +149,14 @@ impl PastryAware {
             params.grid_bits,
             ceiling * 2,
         )
-        .expect("validated grid parameters");
+        .expect("validated grid parameters"); // tao-lint: allow(no-unwrap-in-lib, reason = "validated grid parameters")
         let config = SoftStateConfig::builder(grid).build();
 
         // Maps exist for prefixes up to log16(N) + 1 digits.
         let max_len = ((params.overlay_nodes as f64).log2() / 4.0).ceil() as u32 + 1;
         let mut overlay = PastryOverlay::new(8);
         let mut state = PrefixState::new(config, max_len.clamp(1, DIGITS));
-        let mut records = HashMap::new();
+        let mut records = DetMap::new();
         let now = SimTime::ORIGIN;
         for underlay in topology.sample_nodes(params.overlay_nodes, &mut rng) {
             let id: PastryId = rng.gen();
@@ -243,9 +243,9 @@ impl PastryAware {
             if route.hop_count() == 0 {
                 continue;
             }
-            let root = *route.hops.last().expect("non-empty");
-            let me = self.overlay.underlay(start).expect("present");
-            let dst = self.overlay.underlay(root).expect("present");
+            let root = *route.hops.last().expect("non-empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "non-empty")
+            let me = self.overlay.underlay(start).expect("present"); // tao-lint: allow(no-unwrap-in-lib, reason = "present")
+            let dst = self.overlay.underlay(root).expect("present"); // tao-lint: allow(no-unwrap-in-lib, reason = "present")
             let direct = self.oracle.ground_truth(me, dst);
             if direct.is_zero() {
                 continue;
@@ -253,8 +253,8 @@ impl PastryAware {
             let mut path = SimDuration::ZERO;
             for w in route.hops.windows(2) {
                 path += self.oracle.ground_truth(
-                    self.overlay.underlay(w[0]).expect("present"),
-                    self.overlay.underlay(w[1]).expect("present"),
+                    self.overlay.underlay(w[0]).expect("present"), // tao-lint: allow(no-unwrap-in-lib, reason = "present")
+                    self.overlay.underlay(w[1]).expect("present"), // tao-lint: allow(no-unwrap-in-lib, reason = "present")
                 );
             }
             summary.add(path / direct);

@@ -6,7 +6,7 @@
 //! landmark-vector distance, RTT-measures them, and records the node with
 //! the smallest RTT.
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
@@ -33,7 +33,7 @@ use tao_topology::RttOracle;
 pub struct GlobalStateSelector<'a> {
     state: &'a GlobalState,
     oracle: &'a RttOracle,
-    infos: &'a HashMap<OverlayNodeId, NodeInfo>,
+    infos: &'a DetMap<OverlayNodeId, NodeInfo>,
     rtt_budget: usize,
     now: SimTime,
     fallback_rng: StdRng,
@@ -50,7 +50,7 @@ impl<'a> GlobalStateSelector<'a> {
     pub fn new(
         state: &'a GlobalState,
         oracle: &'a RttOracle,
-        infos: &'a HashMap<OverlayNodeId, NodeInfo>,
+        infos: &'a DetMap<OverlayNodeId, NodeInfo>,
         rtt_budget: usize,
         now: SimTime,
         seed: u64,
@@ -91,7 +91,7 @@ impl NeighborSelector for GlobalStateSelector<'_> {
         let query = self
             .infos
             .get(&for_node)
-            .expect("selecting node has published info");
+            .expect("selecting node has published info"); // tao-lint: allow(no-unwrap-in-lib, reason = "selecting node has published info")
         let found = self
             .state
             .lookup_in_hosted(target_box, query, self.rtt_budget, can, self.now);
@@ -113,7 +113,7 @@ impl NeighborSelector for GlobalStateSelector<'_> {
                 (self.oracle.measure(me, i.underlay), i.node)
             })
             .min_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
-            .expect("usable is non-empty");
+            .expect("usable is non-empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "usable is non-empty")
         best.1
     }
 }
@@ -135,7 +135,7 @@ mod tests {
         oracle: RttOracle,
         ecan: EcanOverlay,
         state: GlobalState,
-        infos: HashMap<OverlayNodeId, NodeInfo>,
+        infos: DetMap<OverlayNodeId, NodeInfo>,
     }
 
     fn fixture() -> Fixture {
@@ -157,7 +157,7 @@ mod tests {
         let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(400)).unwrap();
         let config = SoftStateConfig::builder(grid).build();
         let mut state = GlobalState::new(config);
-        let mut infos = HashMap::new();
+        let mut infos = DetMap::new();
         for id in ecan.can().live_nodes() {
             let underlay = ecan.can().underlay(id);
             let vector = LandmarkVector::measure(underlay, &landmarks, &oracle);

@@ -1,6 +1,6 @@
 //! The assembled system: topology + landmarks + eCAN + global soft-state.
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::seq::SliceRandom;
@@ -161,7 +161,7 @@ impl TaoBuilder {
 
         // 2. Pick participants and grow the CAN with uniform random joins.
         let participants = topology.sample_nodes(self.params.overlay_nodes, &mut rng);
-        let mut can = CanOverlay::new(self.params.dims).expect("dims >= 2");
+        let mut can = CanOverlay::new(self.params.dims).expect("dims >= 2"); // tao-lint: allow(no-unwrap-in-lib, reason = "dims >= 2")
         for &router in &participants {
             can.join(router, Point::random(self.params.dims, &mut rng));
         }
@@ -173,12 +173,12 @@ impl TaoBuilder {
             self.params.grid_bits,
             grid_ceiling,
         )
-        .expect("validated grid parameters");
+        .expect("validated grid parameters"); // tao-lint: allow(no-unwrap-in-lib, reason = "validated grid parameters")
         let config = SoftStateConfig::builder(grid)
             .curve(self.curve)
             .condense_rate(self.params.condense_rate)
             .build();
-        let mut infos = HashMap::new();
+        let mut infos = DetMap::new();
         for id in can.live_nodes().collect::<Vec<_>>() {
             let underlay = can.underlay(id);
             let vector = LandmarkVector::measure(underlay, &landmarks, &oracle);
@@ -260,7 +260,7 @@ pub struct TopologyAwareOverlay {
     ecan: EcanOverlay,
     state: GlobalState,
     pubsub: PubSub,
-    infos: HashMap<OverlayNodeId, NodeInfo>,
+    infos: DetMap<OverlayNodeId, NodeInfo>,
     now: SimTime,
 }
 
@@ -345,7 +345,7 @@ impl TopologyAwareOverlay {
             if route.hop_count() == 0 {
                 continue;
             }
-            let dst = *route.hops.last().expect("routes are non-empty");
+            let dst = *route.hops.last().expect("routes are non-empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "routes are non-empty")
             let direct = self
                 .oracle
                 .ground_truth(self.ecan.can().underlay(src), self.ecan.can().underlay(dst));
@@ -603,7 +603,7 @@ mod tests {
         let mut tao = small_builder().build();
         let before_entries = tao.state().total_entries();
         // Pick an underlay router not already in the overlay.
-        let used: std::collections::HashSet<_> = tao
+        let used: tao_util::det::DetSet<_> = tao
             .ecan()
             .can()
             .live_nodes()
@@ -635,7 +635,7 @@ mod tests {
                 tao.pubsub_mut().subscribe(&zone.clone(), id, Predicate::NodeJoined);
             }
         }
-        let used: std::collections::HashSet<_> = live
+        let used: tao_util::det::DetSet<_> = live
             .iter()
             .map(|&id| tao.ecan().can().underlay(id))
             .collect();

@@ -72,7 +72,7 @@ impl PcaModel {
         order.sort_by(|&a, &b| {
             eigenvalues[b]
                 .partial_cmp(&eigenvalues[a])
-                .expect("eigenvalues are finite")
+                .expect("eigenvalues are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "eigenvalues are finite")
         });
         let components = order[..keep]
             .iter()

@@ -166,10 +166,10 @@ impl LandmarkGrid {
         let cell = self.cell(vector);
         let value = match curve {
             SpaceFillingCurve::Hilbert => HilbertCurve::new(self.dims, self.bits)
-                .expect("parameters validated at construction")
+                .expect("parameters validated at construction") // tao-lint: allow(no-unwrap-in-lib, reason = "parameters validated at construction")
                 .index(&cell),
             SpaceFillingCurve::ZOrder => MortonCurve::new(self.dims, self.bits)
-                .expect("parameters validated at construction")
+                .expect("parameters validated at construction") // tao-lint: allow(no-unwrap-in-lib, reason = "parameters validated at construction")
                 .index(&cell),
             SpaceFillingCurve::FirstComponent => cell[0] as u128,
         };

@@ -131,13 +131,13 @@ pub fn region_position(
     match curve {
         SpaceFillingCurve::Hilbert => {
             let c = HilbertCurve::new(region_dims, resolution_bits)
-                .expect("invalid region curve parameters");
+                .expect("invalid region curve parameters"); // tao-lint: allow(no-unwrap-in-lib, reason = "invalid region curve parameters")
             let target = scaled_index(fraction, c.max_index());
             normalise(&c.point(target), cells_per_axis)
         }
         SpaceFillingCurve::ZOrder => {
             let c = MortonCurve::new(region_dims, resolution_bits)
-                .expect("invalid region curve parameters");
+                .expect("invalid region curve parameters"); // tao-lint: allow(no-unwrap-in-lib, reason = "invalid region curve parameters")
             let target = scaled_index(fraction, c.max_index());
             normalise(&c.point(target), cells_per_axis)
         }

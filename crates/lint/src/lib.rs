@@ -1,0 +1,21 @@
+//! `tao-lint`: the workspace's in-tree static-analysis pass.
+//!
+//! `scripts/ci.sh` can grep `Cargo.toml` manifests for banned registry
+//! crates, but manifests cannot see *source-level* determinism hazards:
+//! a `std::collections::HashMap` iterated in a broadcast loop, a stray
+//! `Instant::now()` feeding simulated time, an `.unwrap()` that turns a
+//! recoverable condition into a panic deep inside an overlay. This
+//! crate lexes every Rust file in the workspace with a small hand-rolled
+//! lexer ([`lexer`]) — so findings never fire inside string literals,
+//! char literals, doc comments, or `#[cfg(test)]` regions — and enforces
+//! the project invariants as named rules ([`rules`]).
+//!
+//! Run it over the whole workspace with:
+//!
+//! ```text
+//! cargo run --release --offline -p tao-lint -- --workspace
+//! ```
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;

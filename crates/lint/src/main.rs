@@ -1,0 +1,92 @@
+//! CLI driver: `tao-lint --workspace` or `tao-lint <paths…>`.
+//!
+//! Prints one `path:line:col: rule: message` line per unwaived finding,
+//! then a per-rule summary of findings and waivers, and exits nonzero
+//! if any finding survived.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tao_lint::rules::{lint_source, Rule, ALL_RULES};
+use tao_lint::walk::{classify, workspace_files};
+use tao_util::det::DetMap;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut workspace = false;
+    for a in &args {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--help" | "-h" => {
+                println!("usage: tao-lint --workspace | tao-lint <file.rs>...");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if workspace {
+        match workspace_files(Path::new(".")) {
+            Ok(found) => paths.extend(found),
+            Err(e) => {
+                eprintln!("tao-lint: cannot walk workspace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("tao-lint: no input files (try --workspace)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut findings: DetMap<&'static str, usize> = DetMap::new();
+    let mut waivers: DetMap<&'static str, usize> = DetMap::new();
+    for rule in ALL_RULES {
+        findings.insert(rule.name(), 0);
+        waivers.insert(rule.name(), 0);
+    }
+    let mut total = 0usize;
+    let mut files = 0usize;
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tao-lint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        files += 1;
+        let display = path
+            .strip_prefix("./")
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        let report = lint_source(&display, &source, classify(path));
+        for f in &report.findings {
+            println!("{}", f.render());
+            *findings.entry(f.rule.name()).or_insert(0) += 1;
+            total += 1;
+        }
+        for (rule, _line) in &report.waived {
+            *waivers.entry(rule.name()).or_insert(0) += 1;
+        }
+    }
+
+    println!("tao-lint: {files} files checked");
+    for rule in ALL_RULES {
+        let f = findings.get(&rule.name()).copied().unwrap_or(0);
+        let w = if rule == Rule::BadPragma {
+            0
+        } else {
+            waivers.get(&rule.name()).copied().unwrap_or(0)
+        };
+        println!("  {:<20} {:>3} finding(s) {:>3} waiver(s)", rule.name(), f, w);
+    }
+    if total == 0 {
+        println!("tao-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("tao-lint: {total} finding(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,505 @@
+//! The lint rules, pragma handling, and per-file driver.
+//!
+//! Every rule works on the token stream of [`crate::lexer`], so string
+//! literals, char literals, and comments can never trigger a finding.
+//! Code under `#[cfg(test)]` (and whole integration-test files) is
+//! exempt from the determinism rules — tests may use whatever
+//! collections they like — while the hermeticity rule
+//! (`no-registry-import`) applies everywhere.
+//!
+//! A finding can be waived in place with a pragma comment that names the
+//! rule and *must* give a justification:
+//!
+//! ```text
+//! some_option.expect("..."); // tao-lint: allow(no-unwrap-in-lib, reason = "checked above")
+//! ```
+//!
+//! A pragma on its own line waives the line below it; a trailing pragma
+//! waives its own line. A pragma without a non-empty `reason` string is
+//! itself a finding (`bad-pragma`) and waives nothing.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The rules `tao-lint` enforces. See `DESIGN.md` §8 for the rationale
+/// behind each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `std::collections` hash map/set in non-test code: their
+    /// iteration order is seeded per process, which silently breaks
+    /// cross-process replay determinism. Use `tao_util::det`.
+    DetCollections,
+    /// No `SystemTime::now`/`Instant::now` outside the bench harness:
+    /// simulated time must come from `tao_sim`, never the wall clock.
+    NoWallClock,
+    /// No `.unwrap()`/`.expect(` in library code: return errors or
+    /// carry a pragma with a justification.
+    NoUnwrapInLib,
+    /// No `use`/`extern crate` of the banned registry crates — the
+    /// source-level complement of `scripts/ci.sh`'s manifest grep.
+    NoRegistryImport,
+    /// A malformed waiver pragma (unknown rule or missing reason).
+    BadPragma,
+}
+
+/// Every enforced rule, in reporting order.
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::DetCollections,
+    Rule::NoWallClock,
+    Rule::NoUnwrapInLib,
+    Rule::NoRegistryImport,
+    Rule::BadPragma,
+];
+
+/// Registry crates that must never be imported; keep in sync with the
+/// `banned` list in `scripts/ci.sh`.
+pub const BANNED_CRATES: [&str; 7] = [
+    "rand",
+    "proptest",
+    "criterion",
+    "crossbeam",
+    "parking_lot",
+    "bytes",
+    "serde",
+];
+
+impl Rule {
+    /// The rule's name as used in pragmas and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::DetCollections => "det-collections",
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoUnwrapInLib => "no-unwrap-in-lib",
+            Rule::NoRegistryImport => "no-registry-import",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// Parses a rule name from a pragma.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `crates/*/src` (not `bin/`, not `main.rs`):
+    /// all rules apply.
+    Lib,
+    /// A binary (`src/bin/`, `src/main.rs`) or example: everything but
+    /// `no-unwrap-in-lib` applies.
+    Bin,
+    /// An integration test or bench harness: only compiled into test
+    /// runners, so the determinism rules are off; `no-registry-import`
+    /// still applies.
+    TestHarness,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Path of the file, as given to [`lint_source`].
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line:col: rule: message`, the report and golden-file format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that were not waived.
+    pub findings: Vec<Finding>,
+    /// `(rule, line)` of findings waived by a valid pragma.
+    pub waived: Vec<(Rule, u32)>,
+}
+
+/// A parsed waiver pragma.
+#[derive(Debug)]
+struct Pragma {
+    rule: Rule,
+    /// The line whose findings this pragma waives.
+    effective_line: u32,
+}
+
+/// Lints one file's source text. `path` is used only for reporting.
+pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
+    let tokens = lex(source);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let test_ranges = test_line_ranges(&code);
+    let in_test = |line: u32| -> bool {
+        kind == FileKind::TestHarness
+            || test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    };
+
+    let mut report = FileReport::default();
+    let (pragmas, mut bad) = collect_pragmas(path, &tokens, &code);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    for (i, t) in code.iter().enumerate() {
+        // det-collections
+        if t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !in_test(t.line)
+        {
+            raw.push(Finding {
+                rule: Rule::DetCollections,
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "std `{}` iterates in per-process random order; \
+                     use `tao_util::det::{}` instead",
+                    t.text,
+                    if t.text == "HashMap" { "DetMap" } else { "DetSet" }
+                ),
+            });
+        }
+
+        // no-wall-clock: `SystemTime::now` / `Instant::now`
+        if t.kind == TokenKind::Ident
+            && (t.text == "SystemTime" || t.text == "Instant")
+            && !in_test(t.line)
+            && matches!(code.get(i + 1), Some(p) if p.text == "::")
+            && matches!(code.get(i + 2), Some(n) if n.text == "now")
+        {
+            raw.push(Finding {
+                rule: Rule::NoWallClock,
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}::now` reads the wall clock; simulated code must \
+                     take time from `tao_sim::SimTime`",
+                    t.text
+                ),
+            });
+        }
+
+        // no-unwrap-in-lib: `.unwrap(` / `.expect(`
+        if kind == FileKind::Lib
+            && t.kind == TokenKind::Punct
+            && t.text == "."
+            && !in_test(t.line)
+        {
+            if let (Some(name), Some(paren)) = (code.get(i + 1), code.get(i + 2)) {
+                if name.kind == TokenKind::Ident
+                    && (name.text == "unwrap" || name.text == "expect")
+                    && paren.text == "("
+                {
+                    raw.push(Finding {
+                        rule: Rule::NoUnwrapInLib,
+                        path: path.to_string(),
+                        line: name.line,
+                        col: name.col,
+                        message: format!(
+                            "`.{}(` in library code can panic; return an error \
+                             or add `// tao-lint: allow(no-unwrap-in-lib, \
+                             reason = \"...\")`",
+                            name.text
+                        ),
+                    });
+                }
+            }
+        }
+
+        // no-registry-import: `use <banned>…` / `extern crate <banned>`
+        if t.kind == TokenKind::Ident && t.text == "use" {
+            if let Some(first) = code.get(i + 1) {
+                if first.kind == TokenKind::Ident
+                    && BANNED_CRATES.contains(&first.text.as_str())
+                {
+                    raw.push(registry_finding(path, first));
+                }
+            }
+        }
+        if t.kind == TokenKind::Ident && t.text == "extern" {
+            if let (Some(kw), Some(name)) = (code.get(i + 1), code.get(i + 2)) {
+                if kw.text == "crate" && BANNED_CRATES.contains(&name.text.as_str()) {
+                    raw.push(registry_finding(path, name));
+                }
+            }
+        }
+    }
+
+    // Apply waivers.
+    for f in raw {
+        let waiver = pragmas
+            .iter()
+            .find(|p| p.rule == f.rule && p.effective_line == f.line);
+        match waiver {
+            Some(p) => report.waived.push((p.rule, f.line)),
+            None => report.findings.push(f),
+        }
+    }
+    report.findings.append(&mut bad);
+    report
+        .findings
+        .sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    report
+}
+
+fn registry_finding(path: &str, name: &Token) -> Finding {
+    Finding {
+        rule: Rule::NoRegistryImport,
+        path: path.to_string(),
+        line: name.line,
+        col: name.col,
+        message: format!(
+            "import of banned registry crate `{}`; the hermetic build \
+             policy allows only in-tree tao-* crates (see DESIGN.md)",
+            name.text
+        ),
+    }
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// An attribute whose tokens are `cfg ( … test … )` (with no `not`) or
+/// exactly `test` marks the item that follows. The item's extent runs to
+/// the `;` of a braceless item or through the brace-matched `{ … }` body.
+fn test_line_ranges(code: &[&Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text == "#" && code.get(i + 1).map_or(false, |t| t.text == "[") {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < code.len() && depth > 0 {
+                match code[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {
+                        if code[j].kind == TokenKind::Ident {
+                            idents.push(&code[j].text);
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let is_cfg_test = idents.contains(&"cfg")
+                && idents.contains(&"test")
+                && !idents.contains(&"not");
+            let is_test_attr = idents == ["test"];
+            if is_cfg_test || is_test_attr {
+                let start_line = code[i].line;
+                // Find the guarded item's extent: the first `;` before
+                // any brace ends it, otherwise brace-match its body.
+                let mut k = j;
+                let mut end_line = start_line;
+                while k < code.len() {
+                    let text = code[k].text.as_str();
+                    if text == ";" {
+                        end_line = code[k].line;
+                        break;
+                    }
+                    if text == "{" {
+                        let mut braces = 1;
+                        k += 1;
+                        while k < code.len() && braces > 0 {
+                            match code[k].text.as_str() {
+                                "{" => braces += 1,
+                                "}" => braces -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end_line = code.get(k.saturating_sub(1)).map_or(end_line, |t| t.line);
+                        break;
+                    }
+                    k += 1;
+                }
+                ranges.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Extracts waiver pragmas from comment tokens. Returns the valid
+/// pragmas plus `bad-pragma` findings for malformed ones.
+fn collect_pragmas(
+    path: &str,
+    tokens: &[Token],
+    code: &[&Token],
+) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(at) = t.text.find("tao-lint:") else {
+            continue;
+        };
+        let rest = t.text[at + "tao-lint:".len()..].trim_start();
+        match parse_pragma(rest) {
+            Ok((rule, _reason)) => {
+                // A trailing pragma covers its own line; a pragma alone
+                // on a line covers the next.
+                let has_code_on_line = code.iter().any(|c| c.line == t.line);
+                pragmas.push(Pragma {
+                    rule,
+                    effective_line: if has_code_on_line { t.line } else { t.line + 1 },
+                });
+            }
+            Err(why) => bad.push(Finding {
+                rule: Rule::BadPragma,
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: why,
+            }),
+        }
+    }
+    (pragmas, bad)
+}
+
+/// Parses `allow(<rule>, reason = "<non-empty>")`.
+fn parse_pragma(text: &str) -> Result<(Rule, String), String> {
+    let body = text
+        .strip_prefix("allow(")
+        .ok_or_else(|| "pragma must be `allow(<rule>, reason = \"...\")`".to_string())?;
+    let Some(close) = body.rfind(')') else {
+        return Err("pragma is missing its closing `)`".to_string());
+    };
+    let body = &body[..close];
+    let Some((rule_name, rest)) = body.split_once(',') else {
+        return Err(format!(
+            "pragma for `{}` needs a `, reason = \"...\"` justification",
+            body.trim()
+        ));
+    };
+    let rule_name = rule_name.trim();
+    let rule = Rule::from_name(rule_name)
+        .ok_or_else(|| format!("pragma names unknown rule `{rule_name}`"))?;
+    let rest = rest.trim();
+    let reason = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| {
+            format!("pragma for `{rule_name}` needs `reason = \"...\"` after the rule")
+        })?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("pragma reason for `{rule_name}` must be a quoted string"))?;
+    if reason.trim().is_empty() {
+        return Err(format!(
+            "pragma for `{rule_name}` has an empty reason; justify the waiver"
+        ));
+    }
+    Ok((rule, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str, kind: FileKind) -> Vec<String> {
+        lint_source("f.rs", src, kind)
+            .findings
+            .into_iter()
+            .map(|f| format!("{}:{}", f.rule.name(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn hash_collections_flagged_outside_tests_only() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert_eq!(findings(src, FileKind::Lib), vec!["det-collections:1"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// HashMap in a comment\nlet s = \"HashMap\"; /* Instant::now() */\n";
+        assert!(findings(src, FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_detected_through_paths() {
+        let src = "let t = std::time::Instant::now();\nlet s = SystemTime::now();\n";
+        assert_eq!(
+            findings(src, FileKind::Lib),
+            vec!["no-wall-clock:1", "no-wall-clock:2"]
+        );
+    }
+
+    #[test]
+    fn unwrap_rule_is_lib_only_and_waivable() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(findings(src, FileKind::Lib), vec!["no-unwrap-in-lib:1"]);
+        assert!(findings(src, FileKind::Bin).is_empty());
+        let waived = "fn f() { x.unwrap(); } // tao-lint: allow(no-unwrap-in-lib, reason = \"ok\")\n";
+        assert!(findings(waived, FileKind::Lib).is_empty());
+        let report = lint_source("f.rs", waived, FileKind::Lib);
+        assert_eq!(report.waived, vec![(Rule::NoUnwrapInLib, 1)]);
+    }
+
+    #[test]
+    fn pragma_alone_on_a_line_covers_the_next() {
+        let src = "// tao-lint: allow(no-unwrap-in-lib, reason = \"init\")\nlet x = y.expect(\"set\");\n";
+        assert!(findings(src, FileKind::Lib).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding_and_waives_nothing() {
+        let src = "x.unwrap(); // tao-lint: allow(no-unwrap-in-lib)\n";
+        let got = findings(src, FileKind::Lib);
+        assert!(got.contains(&"no-unwrap-in-lib:1".to_string()));
+        assert!(got.contains(&"bad-pragma:1".to_string()));
+    }
+
+    #[test]
+    fn registry_imports_flagged_even_in_test_harnesses() {
+        let src = "use serde::Serialize;\nextern crate rand;\nuse tao_util::rand::Rng;\n";
+        assert_eq!(
+            findings(src, FileKind::TestHarness),
+            vec!["no-registry-import:1", "no-registry-import:2"]
+        );
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real {\n    use std::collections::HashMap;\n}\n";
+        assert_eq!(findings(src, FileKind::Lib), vec!["det-collections:3"]);
+    }
+
+    #[test]
+    fn test_attr_covers_a_single_fn() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }\n";
+        assert_eq!(findings(src, FileKind::Lib), vec!["no-unwrap-in-lib:3"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Workspace traversal and file classification.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileKind;
+
+/// Classifies a workspace-relative `.rs` path into the [`FileKind`] the
+/// rules engine needs.
+///
+/// - `crates/*/src/**` is library code, except `src/bin/**` and
+///   `src/main.rs`, which are binaries.
+/// - `examples/**` (top-level or per-crate) are binaries.
+/// - `tests/**` and `benches/**` (top-level or per-crate) only ever run
+///   inside test harnesses.
+pub fn classify(path: &Path) -> FileKind {
+    let comps: Vec<&str> = path
+        .iter()
+        .filter_map(|c| c.to_str())
+        .collect();
+    if comps.iter().any(|c| *c == "tests" || *c == "benches") {
+        return FileKind::TestHarness;
+    }
+    if comps.iter().any(|c| *c == "examples" || *c == "bin") {
+        return FileKind::Bin;
+    }
+    if comps.last() == Some(&"main.rs") {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// Collects every lintable `.rs` file under `root`, sorted, skipping
+/// `target/`, VCS internals, and the linter's own violation fixtures.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name == ".git" || name == "lint_fixtures" {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_layout() {
+        let lib = Path::new("crates/overlay/src/can.rs");
+        let binm = Path::new("crates/bench/src/bin/join_cost.rs");
+        let test = Path::new("tests/end_to_end.rs");
+        let bench = Path::new("crates/bench/benches/sec6.rs");
+        let example = Path::new("examples/churn.rs");
+        assert_eq!(classify(lib), FileKind::Lib);
+        assert_eq!(classify(binm), FileKind::Bin);
+        assert_eq!(classify(test), FileKind::TestHarness);
+        assert_eq!(classify(bench), FileKind::TestHarness);
+        assert_eq!(classify(example), FileKind::Bin);
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: DetMap in lib code, std hash collections confined to tests,
+// strings, and comments — nothing may fire.
+use tao_util::det::{DetMap, DetSet};
+
+pub struct Routing {
+    pub next_hop: DetMap<u64, u64>,
+    pub seen: DetSet<u64>,
+}
+
+// A HashMap mentioned in a comment is fine.
+pub fn describe() -> &'static str {
+    "iteration order of a std HashMap is per-process random"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn tests_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        let mut s = HashSet::new();
+        s.insert(1u64);
+    }
+}

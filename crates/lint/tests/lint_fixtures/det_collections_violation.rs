@@ -1,0 +1,8 @@
+// Fixture: std hash collections in library code must fire det-collections.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Routing {
+    pub next_hop: HashMap<u64, u64>,
+    pub seen: HashSet<u64>,
+}

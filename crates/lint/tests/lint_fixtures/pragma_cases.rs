@@ -1,0 +1,13 @@
+// Fixture: malformed pragmas fire bad-pragma and waive nothing.
+
+pub fn missing_reason(v: &[u64]) -> u64 {
+    *v.first().unwrap() // tao-lint: allow(no-unwrap-in-lib)
+}
+
+pub fn empty_reason(v: &[u64]) -> u64 {
+    *v.first().unwrap() // tao-lint: allow(no-unwrap-in-lib, reason = "")
+}
+
+pub fn unknown_rule(v: &[u64]) -> u64 {
+    *v.first().unwrap() // tao-lint: allow(no-such-rule, reason = "nice try")
+}

@@ -1,0 +1,12 @@
+// Fixture: in-tree substrates whose module names shadow banned crate
+// names — `tao_util::rand` is fine, bare `rand` is not.
+use tao_util::rand::{Rng, StdRng};
+use tao_util::check::for_all;
+
+pub fn roll(rng: &mut StdRng) -> u64 {
+    rng.gen()
+}
+
+pub fn harness() {
+    for_all("fixture", |_rng| {});
+}

@@ -1,0 +1,7 @@
+// Fixture: banned registry imports must fire no-registry-import,
+// even in test-harness files.
+use serde::Serialize;
+
+extern crate rand;
+
+use proptest::prelude::*;

@@ -1,0 +1,20 @@
+// Fixture: waived, test-only, and literal-embedded unwraps — nothing fires.
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap() // tao-lint: allow(no-unwrap-in-lib, reason = "callers pass non-empty slices by contract")
+}
+
+pub fn named(v: &[u64]) -> u64 {
+    // tao-lint: allow(no-unwrap-in-lib, reason = "length checked by the caller")
+    *v.first().expect("caller guarantees non-empty")
+}
+
+pub fn doc() -> &'static str {
+    "calling .unwrap() here would be a bug"
+}
+
+#[test]
+fn tests_may_unwrap() {
+    let v = vec![1u64];
+    assert_eq!(*v.first().unwrap(), 1);
+}

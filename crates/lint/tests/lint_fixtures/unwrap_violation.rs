@@ -1,0 +1,9 @@
+// Fixture: unwrap/expect in library code must fire no-unwrap-in-lib.
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: &[u64]) -> u64 {
+    *v.first().expect("caller guarantees non-empty")
+}

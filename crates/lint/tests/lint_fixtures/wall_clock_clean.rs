@@ -1,0 +1,16 @@
+// Fixture: wall-clock mentions in strings/comments/tests — nothing fires.
+// The real thing would be Instant::now(), which this comment may name.
+
+pub fn warning() -> &'static str {
+    "never call Instant::now() or SystemTime::now() in simulated code"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_themselves() {
+        let _t = Instant::now();
+    }
+}

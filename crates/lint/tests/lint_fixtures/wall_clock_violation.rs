@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in library code must fire no-wall-clock.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed() -> Instant {
+    Instant::now()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

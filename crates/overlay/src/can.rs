@@ -7,7 +7,7 @@
 //! without simulating every control message. Neighbor tables are maintained
 //! incrementally on join/departure exactly as the CAN protocol would.
 
-use std::collections::HashSet;
+use tao_util::det::DetSet;
 use std::error::Error;
 use std::fmt;
 
@@ -109,7 +109,7 @@ struct NodeState {
     zones: Vec<Zone>,
     /// Depth of the primary zone in the split tree (splits from the root).
     depth: u32,
-    neighbors: HashSet<OverlayNodeId>,
+    neighbors: DetSet<OverlayNodeId>,
     alive: bool,
 }
 
@@ -268,7 +268,7 @@ impl CanOverlay {
     /// dimensionality.
     pub fn owner(&self, point: &Point) -> OverlayNodeId {
         assert_eq!(point.dims(), self.dims, "dimensionality mismatch");
-        let mut node = self.tree.as_ref().expect("overlay is empty");
+        let mut node = self.tree.as_ref().expect("overlay is empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "overlay is empty")
         loop {
             match node {
                 TreeNode::Leaf(id) => return *id,
@@ -383,7 +383,7 @@ impl CanOverlay {
                 underlay,
                 zones: vec![Zone::whole(self.dims)],
                 depth: 0,
-                neighbors: HashSet::new(),
+                neighbors: DetSet::new(),
                 alive: true,
             });
             self.tree = Some(TreeNode::Leaf(new_id));
@@ -398,7 +398,7 @@ impl CanOverlay {
             .zones
             .iter()
             .position(|z| z.contains(&point))
-            .expect("owner's zones cover the join point");
+            .expect("owner's zones cover the join point"); // tao-lint: allow(no-unwrap-in-lib, reason = "owner's zones cover the join point")
         let owner_zone = self.nodes[owner.index()].zones[zone_idx].clone();
         // CAN splits in half along the widest axis (ties -> lowest axis),
         // which reproduces round-robin splitting on dyadic zones and stays
@@ -416,7 +416,7 @@ impl CanOverlay {
             underlay,
             zones: vec![new_zone.clone()],
             depth: 0, // recomputed below from geometry
-            neighbors: HashSet::new(),
+            neighbors: DetSet::new(),
             alive: true,
         });
         self.live_count += 1;
@@ -430,7 +430,7 @@ impl CanOverlay {
             (new_id, owner)
         };
         Self::replace_leaf_at_point(
-            self.tree.as_mut().expect("tree is non-empty"),
+            self.tree.as_mut().expect("tree is non-empty"), // tao-lint: allow(no-unwrap-in-lib, reason = "tree is non-empty")
             &point,
             TreeNode::Split {
                 axis,
@@ -517,9 +517,9 @@ impl CanOverlay {
             .min_by(|a, b| {
                 let va: f64 = self.nodes[a.index()].zones.iter().map(Zone::volume).sum();
                 let vb: f64 = self.nodes[b.index()].zones.iter().map(Zone::volume).sum();
-                va.partial_cmp(&vb).unwrap().then(a.cmp(b))
+                va.total_cmp(&vb).then(a.cmp(b))
             })
-            .expect("a live non-last node has at least one neighbor");
+            .expect("a live non-last node has at least one neighbor"); // tao-lint: allow(no-unwrap-in-lib, reason = "a live non-last node has at least one neighbor")
 
         // Re-point the departing node's leaf (or leaves, if it had taken
         // over zones itself) at the taker.
@@ -587,7 +587,7 @@ impl CanOverlay {
         let mut current = source;
         // Greedy with a visited set: strictly-decreasing progress can fail
         // at zone corners, so permit sideways moves but never revisit.
-        let mut visited: HashSet<OverlayNodeId> = HashSet::new();
+        let mut visited: DetSet<OverlayNodeId> = DetSet::new();
         visited.insert(source);
         let limit = 4 * self.nodes.len() + 16;
         while !self.nodes[current.index()].owns_point(target) {
@@ -602,7 +602,7 @@ impl CanOverlay {
                 .min_by(|a, b| {
                     let da = self.nodes[a.index()].distance_to_point(target);
                     let db = self.nodes[b.index()].distance_to_point(target);
-                    da.partial_cmp(&db).unwrap().then(a.cmp(b))
+                    da.total_cmp(&db).then(a.cmp(b))
                 })
                 .ok_or(OverlayError::RoutingStuck { at: current })?;
             visited.insert(next);
@@ -656,10 +656,10 @@ fn widest_axis(zone: &Zone) -> usize {
         .max_by(|&a, &b| {
             zone.extent(a)
                 .partial_cmp(&zone.extent(b))
-                .expect("extents are finite")
+                .expect("extents are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "extents are finite")
                 .then(b.cmp(&a)) // prefer the lower axis on ties
         })
-        .expect("zones have at least one axis")
+        .expect("zones have at least one axis") // tao-lint: allow(no-unwrap-in-lib, reason = "zones have at least one axis")
 }
 
 /// Number of binary splits that produced `zone` from the whole space:

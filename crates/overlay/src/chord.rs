@@ -112,19 +112,19 @@ impl ClosestFingerSelector {
 
 impl FingerSelector for ClosestFingerSelector {
     fn select(&mut self, owner: RingId, candidates: &[RingId], ring: &ChordOverlay) -> RingId {
-        let me = ring.underlay(owner).expect("owner is on the ring");
+        let me = ring.underlay(owner).expect("owner is on the ring"); // tao-lint: allow(no-unwrap-in-lib, reason = "owner is on the ring")
         *candidates
             .iter()
             .min_by(|&&a, &&b| {
                 let da = self
                     .oracle
-                    .ground_truth(me, ring.underlay(a).expect("candidate on ring"));
+                    .ground_truth(me, ring.underlay(a).expect("candidate on ring")); // tao-lint: allow(no-unwrap-in-lib, reason = "candidate on ring")
                 let db = self
                     .oracle
-                    .ground_truth(me, ring.underlay(b).expect("candidate on ring"));
+                    .ground_truth(me, ring.underlay(b).expect("candidate on ring")); // tao-lint: allow(no-unwrap-in-lib, reason = "candidate on ring")
                 da.cmp(&db).then(a.cmp(&b))
             })
-            .expect("candidates are non-empty")
+            .expect("candidates are non-empty") // tao-lint: allow(no-unwrap-in-lib, reason = "candidates are non-empty")
     }
 }
 
@@ -275,7 +275,7 @@ impl ChordOverlay {
         }
         self.nodes
             .get_mut(&id)
-            .expect("checked above")
+            .expect("checked above") // tao-lint: allow(no-unwrap-in-lib, reason = "checked above")
             .fingers = fingers;
     }
 
@@ -351,12 +351,12 @@ impl ChordOverlay {
         for (i, &id) in ids.iter().enumerate() {
             let next = ids[(i + 1) % ids.len()];
             assert_eq!(
-                self.successor(id).expect("non-empty ring"),
+                self.successor(id).expect("non-empty ring"), // tao-lint: allow(no-unwrap-in-lib, reason = "non-empty ring")
                 id,
                 "node {id:#x} is not its own successor"
             );
             assert_eq!(
-                self.successor(id.wrapping_add(1)).expect("non-empty ring"),
+                self.successor(id.wrapping_add(1)).expect("non-empty ring"), // tao-lint: allow(no-unwrap-in-lib, reason = "non-empty ring")
                 next,
                 "ring order broken after {id:#x}"
             );

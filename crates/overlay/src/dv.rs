@@ -9,7 +9,7 @@
 //! near-optimal stretch versus `O(N)` routing state per node and a
 //! convergence round-count that grows with the network diameter.
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_sim::SimDuration;
 use tao_topology::RttOracle;
@@ -22,9 +22,9 @@ use crate::can::{CanOverlay, OverlayError, OverlayNodeId, Route};
 #[derive(Debug, Clone)]
 pub struct DistanceVectorTables {
     /// `next[src][dst]` = next overlay hop from `src` toward `dst`.
-    next: HashMap<OverlayNodeId, HashMap<OverlayNodeId, OverlayNodeId>>,
+    next: DetMap<OverlayNodeId, DetMap<OverlayNodeId, OverlayNodeId>>,
     /// Converged path cost per pair.
-    cost: HashMap<(OverlayNodeId, OverlayNodeId), SimDuration>,
+    cost: DetMap<(OverlayNodeId, OverlayNodeId), SimDuration>,
     rounds: usize,
     updates: u64,
 }
@@ -46,9 +46,9 @@ impl DistanceVectorTables {
         assert!(!live.is_empty(), "overlay has no live nodes");
 
         // Link costs between CAN neighbors.
-        let mut links: HashMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>> = HashMap::new();
+        let mut links: DetMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>> = DetMap::new();
         for &a in &live {
-            let neighbors = can.neighbors(a).expect("live node");
+            let neighbors = can.neighbors(a).expect("live node"); // tao-lint: allow(no-unwrap-in-lib, reason = "live node")
             let row = neighbors
                 .into_iter()
                 .map(|b| (b, oracle.ground_truth(can.underlay(a), can.underlay(b))))
@@ -66,7 +66,7 @@ impl DistanceVectorTables {
     ///
     /// Panics if `links` is empty.
     pub fn converge_on(
-        links: &HashMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>>,
+        links: &DetMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>>,
     ) -> Self {
         let live: Vec<OverlayNodeId> = {
             let mut v: Vec<OverlayNodeId> = links.keys().copied().collect();
@@ -75,9 +75,9 @@ impl DistanceVectorTables {
         };
         assert!(!live.is_empty(), "no links given");
 
-        let mut cost: HashMap<(OverlayNodeId, OverlayNodeId), SimDuration> = HashMap::new();
-        let mut next: HashMap<OverlayNodeId, HashMap<OverlayNodeId, OverlayNodeId>> =
-            live.iter().map(|&a| (a, HashMap::new())).collect();
+        let mut cost: DetMap<(OverlayNodeId, OverlayNodeId), SimDuration> = DetMap::new();
+        let mut next: DetMap<OverlayNodeId, DetMap<OverlayNodeId, OverlayNodeId>> =
+            live.iter().map(|&a| (a, DetMap::new())).collect();
         for &a in &live {
             cost.insert((a, a), SimDuration::ZERO);
         }
@@ -103,7 +103,7 @@ impl DistanceVectorTables {
                         };
                         if better {
                             cost.insert((b, dst), via);
-                            next.get_mut(&b).expect("initialised").insert(dst, a);
+                            next.get_mut(&b).expect("initialised").insert(dst, a); // tao-lint: allow(no-unwrap-in-lib, reason = "initialised")
                             changed = true;
                         }
                     }
@@ -138,7 +138,7 @@ impl DistanceVectorTables {
 
     /// Per-node routing state: entries held by each node (= N destinations).
     pub fn entries_per_node(&self) -> usize {
-        self.next.values().map(HashMap::len).max().unwrap_or(0)
+        self.next.values().map(DetMap::len).max().unwrap_or(0)
     }
 
     /// Routes from `src` to `dst` along converged next hops.
@@ -190,16 +190,16 @@ pub fn proximity_links(
     can: &CanOverlay,
     oracle: &RttOracle,
     k: usize,
-) -> HashMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>> {
+) -> DetMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>> {
     assert!(k > 0, "k must be at least 1");
     let live: Vec<OverlayNodeId> = can.live_nodes().collect();
     assert!(live.len() >= 2, "need at least two live nodes");
-    let mut links: HashMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>> = live
+    let mut links: DetMap<OverlayNodeId, Vec<(OverlayNodeId, SimDuration)>> = live
         .iter()
         .map(|&a| {
             let row = can
                 .neighbors(a)
-                .expect("live node")
+                .expect("live node") // tao-lint: allow(no-unwrap-in-lib, reason = "live node")
                 .into_iter()
                 .map(|b| (b, oracle.ground_truth(can.underlay(a), can.underlay(b))))
                 .collect();
@@ -214,11 +214,11 @@ pub fn proximity_links(
             .collect();
         dists.sort();
         for &(d, b) in dists.iter().take(k) {
-            let row = links.get_mut(&a).expect("initialised");
+            let row = links.get_mut(&a).expect("initialised"); // tao-lint: allow(no-unwrap-in-lib, reason = "initialised")
             if !row.iter().any(|(n, _)| *n == b) {
                 row.push((b, d));
             }
-            let rev = links.get_mut(&b).expect("initialised");
+            let rev = links.get_mut(&b).expect("initialised"); // tao-lint: allow(no-unwrap-in-lib, reason = "initialised")
             if !rev.iter().any(|(n, _)| *n == a) {
                 rev.push((a, d));
             }

@@ -29,7 +29,7 @@
 //! assert!(route.hop_count() <= 64);
 //! ```
 
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
@@ -126,7 +126,7 @@ impl NeighborSelector for ClosestSelector {
                 let db = self.oracle.ground_truth(me, can.underlay(b));
                 da.cmp(&db).then(a.cmp(&b))
             })
-            .expect("candidates are non-empty")
+            .expect("candidates are non-empty") // tao-lint: allow(no-unwrap-in-lib, reason = "candidates are non-empty")
     }
 }
 
@@ -134,7 +134,7 @@ impl NeighborSelector for ClosestSelector {
 #[derive(Debug, Clone)]
 pub struct EcanOverlay {
     can: CanOverlay,
-    tables: HashMap<OverlayNodeId, Vec<HighOrderEntry>>,
+    tables: DetMap<OverlayNodeId, Vec<HighOrderEntry>>,
 }
 
 impl EcanOverlay {
@@ -143,7 +143,7 @@ impl EcanOverlay {
     pub fn build(can: CanOverlay, selector: &mut dyn NeighborSelector) -> Self {
         let mut ecan = EcanOverlay {
             can,
-            tables: HashMap::new(),
+            tables: DetMap::new(),
         };
         ecan.reselect(selector);
         ecan
@@ -325,7 +325,7 @@ impl EcanOverlay {
         self.can.zone(source)?;
         let mut hops = vec![source];
         let mut current = source;
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = tao_util::det::DetSet::new();
         visited.insert(source);
         let limit = 4 * self.can.len() + 16;
         while !self.can.owns_point(current, target)? {
@@ -345,12 +345,12 @@ impl EcanOverlay {
                     let da = self
                         .can
                         .distance_to_point(*a, target)
-                        .expect("filtered to live nodes");
+                        .expect("filtered to live nodes"); // tao-lint: allow(no-unwrap-in-lib, reason = "filtered to live nodes")
                     let db = self
                         .can
                         .distance_to_point(*b, target)
-                        .expect("filtered to live nodes");
-                    da.partial_cmp(&db).unwrap().then(a.cmp(b))
+                        .expect("filtered to live nodes"); // tao-lint: allow(no-unwrap-in-lib, reason = "filtered to live nodes")
+                    da.total_cmp(&db).then(a.cmp(b))
                 });
             let Some(next) = next else {
                 // Expressway jumps can strand greedy in a pocket where every
@@ -417,7 +417,7 @@ fn aligned_level(zone: &Zone) -> u32 {
     (0..zone.dims())
         .map(|a| (-zone.extent(a).log2()).floor() as u32)
         .min()
-        .expect("zones have at least one axis")
+        .expect("zones have at least one axis") // tao-lint: allow(no-unwrap-in-lib, reason = "zones have at least one axis")
 }
 
 /// Shifts an aligned box by `delta` along `axis`, wrapping on the torus.
@@ -437,7 +437,7 @@ fn shifted_box(b: &Zone, axis: usize, delta: f64) -> Zone {
     debug_assert!((0.0..1.0).contains(&new_lo));
     lo[axis] = new_lo;
     hi[axis] = new_lo + side;
-    Zone::from_bounds(lo, hi).expect("shifted aligned box is valid")
+    Zone::from_bounds(lo, hi).expect("shifted aligned box is valid") // tao-lint: allow(no-unwrap-in-lib, reason = "shifted aligned box is valid")
 }
 
 #[cfg(test)]

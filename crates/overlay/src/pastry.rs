@@ -142,19 +142,19 @@ impl EntrySelector for ClosestEntrySelector {
         candidates: &[PastryId],
         overlay: &PastryOverlay,
     ) -> PastryId {
-        let me = overlay.underlay(owner).expect("owner is present");
+        let me = overlay.underlay(owner).expect("owner is present"); // tao-lint: allow(no-unwrap-in-lib, reason = "owner is present")
         *candidates
             .iter()
             .min_by(|&&a, &&b| {
                 let da = self
                     .oracle
-                    .ground_truth(me, overlay.underlay(a).expect("candidate present"));
+                    .ground_truth(me, overlay.underlay(a).expect("candidate present")); // tao-lint: allow(no-unwrap-in-lib, reason = "candidate present")
                 let db = self
                     .oracle
-                    .ground_truth(me, overlay.underlay(b).expect("candidate present"));
+                    .ground_truth(me, overlay.underlay(b).expect("candidate present")); // tao-lint: allow(no-unwrap-in-lib, reason = "candidate present")
                 da.cmp(&db).then(a.cmp(&b))
             })
-            .expect("candidates are non-empty")
+            .expect("candidates are non-empty") // tao-lint: allow(no-unwrap-in-lib, reason = "candidates are non-empty")
     }
 }
 
@@ -330,7 +330,7 @@ impl PastryOverlay {
             }
         }
         let leaves = self.leaf_set_of(id);
-        let s = self.nodes.get_mut(&id).expect("checked above");
+        let s = self.nodes.get_mut(&id).expect("checked above"); // tao-lint: allow(no-unwrap-in-lib, reason = "checked above")
         s.table = table;
         s.leaves = leaves;
     }
@@ -416,7 +416,7 @@ impl PastryOverlay {
                         .chain(
                             self.nodes
                                 .get(&current)
-                                .expect("current is present")
+                                .expect("current is present") // tao-lint: allow(no-unwrap-in-lib, reason = "current is present")
                                 .table
                                 .iter()
                                 .flatten()

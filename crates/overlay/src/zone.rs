@@ -224,7 +224,7 @@ impl Zone {
             .map(|a| (c.coord(a) / side).floor() * side)
             .collect();
         let hi = lo.iter().map(|l| l + side).collect();
-        Zone::from_bounds(lo, hi).expect("aligned box bounds are valid")
+        Zone::from_bounds(lo, hi).expect("aligned box bounds are valid") // tao-lint: allow(no-unwrap-in-lib, reason = "aligned box bounds are valid")
     }
 }
 

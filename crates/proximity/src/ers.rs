@@ -7,7 +7,7 @@
 //! ring by ring, measuring the RTT to every node encountered until the
 //! probe budget is spent.
 
-use std::collections::HashSet;
+use tao_util::det::DetSet;
 
 use tao_overlay::{CanOverlay, OverlayNodeId};
 use tao_topology::RttOracle;
@@ -36,11 +36,11 @@ pub fn expanding_ring_search(
 ) -> SearchTrace {
     let me = can.underlay(start);
     let mut trace = SearchTrace::new();
-    let mut visited: HashSet<OverlayNodeId> = HashSet::new();
+    let mut visited: DetSet<OverlayNodeId> = DetSet::new();
     visited.insert(start);
     let mut ring: Vec<OverlayNodeId> = can
         .neighbors(start)
-        .expect("start must be a live overlay node");
+        .expect("start must be a live overlay node"); // tao-lint: allow(no-unwrap-in-lib, reason = "start must be a live overlay node")
     ring.sort();
     while !ring.is_empty() && trace.len() < budget {
         let mut next_ring: Vec<OverlayNodeId> = Vec::new();

@@ -35,7 +35,7 @@ pub fn rank_by_landmark_distance<'a>(
         let da = query_vector.euclidean_ms(&a.vector);
         let db = query_vector.euclidean_ms(&b.vector);
         da.partial_cmp(&db)
-            .expect("distances are finite")
+            .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
             .then(a.underlay.cmp(&b.underlay))
     });
     ranked

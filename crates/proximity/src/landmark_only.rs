@@ -33,7 +33,7 @@ pub fn landmark_only_choice<'a>(
             let da = query_vector.euclidean_ms(&a.vector);
             let db = query_vector.euclidean_ms(&b.vector);
             da.partial_cmp(&db)
-                .expect("distances are finite")
+                .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
                 .then(a.underlay.cmp(&b.underlay))
         })
 }
@@ -66,7 +66,7 @@ pub fn multi_group_rank<'a>(
     ranked.sort_by(|a, b| {
         score(&a.vector)
             .partial_cmp(&score(&b.vector))
-            .expect("scores are finite")
+            .expect("scores are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "scores are finite")
             .then(a.underlay.cmp(&b.underlay))
     });
     ranked

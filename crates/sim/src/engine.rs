@@ -317,7 +317,7 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
             if self.queue.peek_time()? > deadline {
                 return None;
             }
-            let ev = self.queue.pop().expect("peeked event must pop");
+            let ev = self.queue.pop().expect("peeked event must pop"); // tao-lint: allow(no-unwrap-in-lib, reason = "peeked event must pop")
             self.note_popped(ev.at, ev.seq);
             let (owner, msg) = match ev.event {
                 Pending::Deliver(msg) => {

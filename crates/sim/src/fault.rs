@@ -44,7 +44,7 @@
 
 use crate::engine::NodeId;
 use crate::time::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use tao_util::det::{DetMap, DetSet};
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
 
@@ -52,7 +52,7 @@ use tao_util::rand::{Rng, SeedableRng};
 /// messages with nodes outside it while `from <= now < until`.
 #[derive(Debug, Clone)]
 struct Partition {
-    island: HashSet<NodeId>,
+    island: DetSet<NodeId>,
     from: SimTime,
     until: SimTime,
 }
@@ -93,7 +93,7 @@ pub struct FaultPlan {
     rng: StdRng,
     seed: u64,
     drop_probability: f64,
-    link_drops: HashMap<(NodeId, NodeId), f64>,
+    link_drops: DetMap<(NodeId, NodeId), f64>,
     duplicate_probability: f64,
     jitter: SimDuration,
     partitions: Vec<Partition>,
@@ -109,7 +109,7 @@ impl FaultPlan {
             rng: StdRng::seed_from_u64(seed),
             seed,
             drop_probability: 0.0,
-            link_drops: HashMap::new(),
+            link_drops: DetMap::new(),
             duplicate_probability: 0.0,
             jitter: SimDuration::ZERO,
             partitions: Vec::new(),

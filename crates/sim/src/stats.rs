@@ -95,7 +95,7 @@ impl NetStats {
     ///
     /// Panics if `earlier` has larger counters than `self`.
     pub fn since(&self, earlier: NetStats) -> NetStats {
-        let sub = |a: u64, b: u64| a.checked_sub(b).expect("snapshot is newer than self");
+        let sub = |a: u64, b: u64| a.checked_sub(b).expect("snapshot is newer than self"); // tao-lint: allow(no-unwrap-in-lib, reason = "snapshot is newer than self")
         NetStats {
             messages: sub(self.messages, earlier.messages),
             bytes: sub(self.bytes, earlier.bytes),

@@ -70,7 +70,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
-                .expect("`earlier` must not be later than `self`"),
+                .expect("`earlier` must not be later than `self`"), // tao-lint: allow(no-unwrap-in-lib, reason = "`earlier` must not be later than `self`")
         )
     }
 
@@ -194,7 +194,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
-                .expect("duration subtraction underflow"),
+                .expect("duration subtraction underflow"), // tao-lint: allow(no-unwrap-in-lib, reason = "duration subtraction underflow")
         )
     }
 }

@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use tao_util::det::DetMap;
+
 use tao_landmark::{region_position, LandmarkNumber, LandmarkVector};
 use tao_overlay::{CanOverlay, OverlayNodeId, Point, Zone};
 use tao_sim::SimTime;
@@ -68,7 +70,7 @@ pub struct ZoneMap {
     entries: BTreeMap<(u128, OverlayNodeId), SoftStateEntry>,
     /// Secondary index: each node's current landmark number, enforcing one
     /// entry per node per map even when its coordinates change.
-    by_node: std::collections::HashMap<OverlayNodeId, u128>,
+    by_node: DetMap<OverlayNodeId, u128>,
 }
 
 impl ZoneMap {
@@ -79,7 +81,7 @@ impl ZoneMap {
             region,
             condensed,
             entries: BTreeMap::new(),
-            by_node: std::collections::HashMap::new(),
+            by_node: DetMap::new(),
         }
     }
 
@@ -214,7 +216,7 @@ impl ZoneMap {
             let da = query.euclidean_ms(&a.info.vector);
             let db = query.euclidean_ms(&b.info.vector);
             da.partial_cmp(&db)
-                .expect("distances are finite")
+                .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
                 .then(a.info.node.cmp(&b.info.node))
         });
         candidates
@@ -236,11 +238,8 @@ impl ZoneMap {
 
     /// Counts this map's entries per hosting overlay node (the owner of
     /// each entry's position in `can`).
-    pub fn entries_per_host(
-        &self,
-        can: &CanOverlay,
-    ) -> std::collections::HashMap<OverlayNodeId, usize> {
-        let mut hosts = std::collections::HashMap::new();
+    pub fn entries_per_host(&self, can: &CanOverlay) -> DetMap<OverlayNodeId, usize> {
+        let mut hosts = DetMap::new();
         for e in self.entries.values() {
             *hosts.entry(can.owner(&e.position)).or_insert(0) += 1;
         }
@@ -262,7 +261,7 @@ fn condensed_box(region: &Zone, rate: f64) -> Zone {
     let hi: Vec<f64> = (0..d)
         .map(|a| region.lo(a) + region.extent(a) * scale)
         .collect();
-    Zone::from_bounds(lo, hi).expect("condensed box is valid")
+    Zone::from_bounds(lo, hi).expect("condensed box is valid") // tao-lint: allow(no-unwrap-in-lib, reason = "condensed box is valid")
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@
 //! under that prefix, sorted by landmark number, exactly like the eCAN
 //! zone maps; a node appears in one map per prefix length, ≤ log N total.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use tao_util::det::DetMap;
 
 use tao_landmark::{LandmarkNumber, LandmarkVector};
 use tao_overlay::pastry::{PastryId, DIGITS, DIGIT_BITS};
@@ -17,7 +19,7 @@ use crate::config::SoftStateConfig;
 
 /// Identifies one prefix region: the first `len` digits of `bits` (the
 /// remaining digits are zeroed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PrefixKey {
     /// Number of significant leading digits.
     pub len: u32,
@@ -70,7 +72,7 @@ type PrefixMap = BTreeMap<(u128, PastryId), (PrefixRecord, SimTime)>;
 pub struct PrefixState {
     config: SoftStateConfig,
     max_len: u32,
-    maps: HashMap<PrefixKey, PrefixMap>,
+    maps: DetMap<PrefixKey, PrefixMap>,
 }
 
 impl PrefixState {
@@ -88,7 +90,7 @@ impl PrefixState {
         PrefixState {
             config,
             max_len,
-            maps: HashMap::new(),
+            maps: DetMap::new(),
         }
     }
 
@@ -183,7 +185,7 @@ impl PrefixState {
             let da = query.vector.euclidean_ms(&a.vector);
             let db = query.vector.euclidean_ms(&b.vector);
             da.partial_cmp(&db)
-                .expect("distances are finite")
+                .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
                 .then(a.id.cmp(&b.id))
         });
         candidates.into_iter().take(max).cloned().collect()

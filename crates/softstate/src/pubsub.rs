@@ -12,8 +12,9 @@
 //! latency and the total message count, so experiments can charge realistic
 //! dissemination costs (or drive the `tao-sim` engine directly).
 
-use std::collections::HashMap;
 use std::fmt;
+
+use tao_util::det::DetMap;
 
 use tao_overlay::{OverlayNodeId, Zone};
 use tao_sim::SimDuration;
@@ -102,7 +103,7 @@ struct Subscription {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PubSub {
-    subs: HashMap<ZoneKey, Vec<Subscription>>,
+    subs: DetMap<ZoneKey, Vec<Subscription>>,
     next_id: u64,
 }
 

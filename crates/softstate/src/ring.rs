@@ -8,7 +8,9 @@
 //! their records on the same or ring-adjacent hosts, so one lookup plus a
 //! short successor walk collects the physically-close candidate set.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use tao_util::det::DetMap;
 
 use tao_landmark::{LandmarkNumber, LandmarkVector};
 use tao_overlay::chord::{ChordOverlay, RingId};
@@ -142,7 +144,7 @@ impl RingState {
             let da = query.vector.euclidean_ms(&a.vector);
             let db = query.vector.euclidean_ms(&b.vector);
             da.partial_cmp(&db)
-                .expect("distances are finite")
+                .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
                 .then(a.ring.cmp(&b.ring))
         });
         candidates.dedup_by_key(|r| r.ring);
@@ -151,8 +153,8 @@ impl RingState {
 
     /// Records stored per host (the successor of each record's key) —
     /// the hosting-burden metric on the ring.
-    pub fn records_per_host(&self, ring: &ChordOverlay) -> HashMap<RingId, usize> {
-        let mut out: HashMap<RingId, usize> = ring.node_ids().map(|id| (id, 0)).collect();
+    pub fn records_per_host(&self, ring: &ChordOverlay) -> DetMap<RingId, usize> {
+        let mut out: DetMap<RingId, usize> = ring.node_ids().map(|id| (id, 0)).collect();
         for &(key, _) in self.entries.keys() {
             if let Ok(host) = ring.successor(key) {
                 *out.entry(host).or_insert(0) += 1;

@@ -5,7 +5,7 @@
 //! in a maximum of log(N) such maps"). Lookups name a target region and run
 //! the Table-1 procedure against that region's map.
 
-use std::collections::HashMap;
+use tao_util::det::{DetMap, DetSet};
 
 use tao_overlay::ecan::EcanOverlay;
 use tao_overlay::{CanOverlay, OverlayNodeId, Zone};
@@ -24,7 +24,7 @@ use crate::map::{ZoneKey, ZoneMap};
 #[derive(Debug, Clone)]
 pub struct GlobalState {
     config: SoftStateConfig,
-    maps: HashMap<ZoneKey, ZoneMap>,
+    maps: DetMap<ZoneKey, ZoneMap>,
 }
 
 impl GlobalState {
@@ -32,7 +32,7 @@ impl GlobalState {
     pub fn new(config: SoftStateConfig) -> Self {
         GlobalState {
             config,
-            maps: HashMap::new(),
+            maps: DetMap::new(),
         }
     }
 
@@ -165,7 +165,7 @@ impl GlobalState {
             let da = query.vector.euclidean_ms(&a.info.vector);
             let db = query.vector.euclidean_ms(&b.info.vector);
             da.partial_cmp(&db)
-                .expect("distances are finite")
+                .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
                 .then(a.info.node.cmp(&b.info.node))
         });
         candidates
@@ -189,8 +189,8 @@ impl GlobalState {
     /// Per-node hosting burden: how many map entries each overlay node
     /// stores (figure 16's dashed line). Nodes hosting nothing are included
     /// with zero so averages are honest.
-    pub fn entries_per_host(&self, can: &CanOverlay) -> HashMap<OverlayNodeId, usize> {
-        let mut totals: HashMap<OverlayNodeId, usize> =
+    pub fn entries_per_host(&self, can: &CanOverlay) -> DetMap<OverlayNodeId, usize> {
+        let mut totals: DetMap<OverlayNodeId, usize> =
             can.live_nodes().map(|id| (id, 0)).collect();
         for map in self.maps.values() {
             for (host, count) in map.entries_per_host(can) {
@@ -226,8 +226,7 @@ impl GlobalState {
         members: &[NodeInfo],
         now: SimTime,
     ) -> ConvergenceReport {
-        let live: std::collections::HashSet<OverlayNodeId> =
-            members.iter().map(|i| i.node).collect();
+        let live: DetSet<OverlayNodeId> = members.iter().map(|i| i.node).collect();
         let mut missing = 0;
         for info in members {
             for region in ecan.enclosing_high_order_zones(info.node) {

@@ -81,7 +81,7 @@ fn max_min_spread(graph: &Graph, count: usize, rng: &mut impl Rng) -> Vec<NodeId
             .iter()
             .enumerate()
             .max_by_key(|(_, d)| **d)
-            .expect("graph is non-empty");
+            .expect("graph is non-empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "graph is non-empty")
         let next = NodeIdx(best as u32);
         chosen.push(next);
         let d_next = shortest_paths(graph, next);

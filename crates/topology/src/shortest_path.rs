@@ -8,7 +8,7 @@
 
 use std::collections::BinaryHeap;
 use std::cmp::Reverse;
-use std::collections::HashMap;
+use tao_util::det::DetMap;
 use std::sync::{Arc, RwLock};
 use tao_sim::SimDuration;
 
@@ -80,7 +80,7 @@ pub fn shortest_paths(graph: &Graph, source: NodeIdx) -> Vec<SimDuration> {
 /// ```
 #[derive(Debug)]
 pub struct SpCache {
-    inner: RwLock<HashMap<NodeIdx, Arc<Vec<SimDuration>>>>,
+    inner: RwLock<DetMap<NodeIdx, Arc<Vec<SimDuration>>>>,
     capacity: usize,
 }
 
@@ -106,18 +106,18 @@ impl SpCache {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be at least 1");
         SpCache {
-            inner: RwLock::new(HashMap::new()),
+            inner: RwLock::new(DetMap::new()),
             capacity,
         }
     }
 
     /// Returns the distance vector from `source`, computing it on first use.
     pub fn distances(&self, graph: &Graph, source: NodeIdx) -> Arc<Vec<SimDuration>> {
-        if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) {
+        if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
             return Arc::clone(hit);
         }
         let computed = Arc::new(shortest_paths(graph, source));
-        let mut w = self.inner.write().expect("sp cache poisoned");
+        let mut w = self.inner.write().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
         if w.len() >= self.capacity {
             w.clear();
         }
@@ -129,7 +129,7 @@ impl SpCache {
     /// landmark set costs one Dijkstra per landmark, not one per node.
     pub fn distance(&self, graph: &Graph, a: NodeIdx, b: NodeIdx) -> SimDuration {
         {
-            let r = self.inner.read().expect("sp cache poisoned");
+            let r = self.inner.read().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
             if let Some(v) = r.get(&a) {
                 return v[b.index()];
             }
@@ -142,17 +142,17 @@ impl SpCache {
 
     /// Number of cached source vectors.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("sp cache poisoned").len()
+        self.inner.read().expect("sp cache poisoned").len() // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
     }
 
     /// `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().expect("sp cache poisoned").is_empty()
+        self.inner.read().expect("sp cache poisoned").is_empty() // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
     }
 
     /// Drops all cached vectors.
     pub fn clear(&self) {
-        self.inner.write().expect("sp cache poisoned").clear();
+        self.inner.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
     }
 }
 

@@ -63,7 +63,7 @@ pub struct BenchResult {
 
 impl BenchResult {
     fn from_samples(name: &str, iters: u64, per_iter_ns: &mut Vec<f64>) -> BenchResult {
-        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings")); // tao-lint: allow(no-unwrap-in-lib, reason = "finite timings")
         let median = if per_iter_ns.len() % 2 == 1 {
             per_iter_ns[per_iter_ns.len() / 2]
         } else {
@@ -74,7 +74,7 @@ impl BenchResult {
             name: name.to_string(),
             median_ns: median,
             min_ns: per_iter_ns[0],
-            max_ns: *per_iter_ns.last().expect("at least one sample"),
+            max_ns: *per_iter_ns.last().expect("at least one sample"), // tao-lint: allow(no-unwrap-in-lib, reason = "at least one sample")
             iters_per_sample: iters,
             samples: per_iter_ns.len(),
         }
@@ -168,7 +168,7 @@ pub fn bench_fn<F: FnMut()>(name: &str, mut f: F) {
     let target = target_sample_time();
     let mut iters: u64 = 1;
     loop {
-        let t = Instant::now();
+        let t = Instant::now(); // tao-lint: allow(no-wall-clock, reason = "bench harness measures real elapsed time by design")
         for _ in 0..iters {
             f();
         }
@@ -182,7 +182,7 @@ pub fn bench_fn<F: FnMut()>(name: &str, mut f: F) {
     }
     let mut per_iter = Vec::with_capacity(samples());
     for _ in 0..samples() {
-        let t = Instant::now();
+        let t = Instant::now(); // tao-lint: allow(no-wall-clock, reason = "bench harness measures real elapsed time by design")
         for _ in 0..iters {
             f();
         }
@@ -214,7 +214,7 @@ where
     let mut iters: u64 = 1;
     loop {
         let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
-        let t = Instant::now();
+        let t = Instant::now(); // tao-lint: allow(no-wall-clock, reason = "bench harness measures real elapsed time by design")
         for input in inputs {
             black_box(routine(input));
         }
@@ -229,7 +229,7 @@ where
     let mut per_iter = Vec::with_capacity(samples());
     for _ in 0..samples() {
         let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
-        let t = Instant::now();
+        let t = Instant::now(); // tao-lint: allow(no-wall-clock, reason = "bench harness measures real elapsed time by design")
         for input in inputs {
             black_box(routine(input));
         }

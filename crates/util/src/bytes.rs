@@ -45,7 +45,7 @@ macro_rules! put_get {
                 pub fn $get(&mut self) -> Option<$t> {
                     const N: usize = core::mem::size_of::<$t>();
                     let bytes: [u8; N] = self.data.get(self.pos..self.pos + N)?
-                        .try_into().expect("slice length is N");
+                        .try_into().expect("slice length is N"); // tao-lint: allow(no-unwrap-in-lib, reason = "slice length is N")
                     self.pos += N;
                     Some(<$t>::from_be_bytes(bytes))
                 }

@@ -1,0 +1,424 @@
+//! Deterministic collections — the workspace's replacement for
+//! `std::collections::{HashMap, HashSet}` on every path that can reach a
+//! routing decision, a soft-state refresh order, or a replay fingerprint.
+//!
+//! `std`'s hash collections are seeded *per process* (HashDoS
+//! protection), so iterating one yields a different order in every run.
+//! Any such iteration that feeds a neighbor list, a candidate set, a
+//! refresh schedule, or the fault-replay fingerprint silently breaks the
+//! cross-process determinism that `scripts/ci.sh` asserts and that every
+//! recorded experiment depends on. [`DetMap`] and [`DetSet`] are
+//! BTree-backed, so iteration order is the key order — fully determined
+//! by the *contents*, independent of insertion history and of the
+//! process that observes it.
+//!
+//! The API mirrors the subset of the std hash-collection surface this
+//! workspace actually uses (`insert` / `get` / `remove` / `iter` / `len`
+//! / `contains_key` / `entry` / …), so migrating a call site is a type
+//! change, not a rewrite. The `tao-lint` rule `det-collections` enforces
+//! the migration statically: non-test code must not name the std hash
+//! collections at all.
+//!
+//! ```
+//! use tao_util::det::DetMap;
+//!
+//! let mut a = DetMap::new();
+//! let mut b = DetMap::new();
+//! for k in [3u32, 1, 2] {
+//!     a.insert(k, ());
+//! }
+//! for k in [2u32, 3, 1] {
+//!     b.insert(k, ());
+//! }
+//! // Same contents => same iteration order, whatever the history.
+//! assert!(a.iter().eq(b.iter()));
+//! assert_eq!(a.keys().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+//! ```
+
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+use std::ops::Index;
+
+pub use std::collections::btree_map::Entry;
+
+/// A map with deterministic, insertion-independent iteration order
+/// (ascending key order). Drop-in for the `HashMap` subset the workspace
+/// uses; requires `K: Ord` instead of `K: Hash + Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetMap<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        DetMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Mutable access to the value at `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes and returns the value at `key`, if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// `true` if `key` has an entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// The entry API, for insert-or-update patterns
+    /// (`map.entry(k).or_insert(0)`).
+    pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
+        self.inner.entry(key)
+    }
+
+    /// Iterates `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterates pairs with mutable values, in ascending key order.
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, K, V> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+
+    /// Iterates mutable values in ascending key order.
+    pub fn values_mut(&mut self) -> btree_map::ValuesMut<'_, K, V> {
+        self.inner.values_mut()
+    }
+
+    /// Keeps only the entries for which `f` returns `true`, visiting in
+    /// ascending key order.
+    pub fn retain<F>(&mut self, f: F)
+    where
+        F: FnMut(&K, &mut V) -> bool,
+    {
+        self.inner.retain(f)
+    }
+}
+
+impl<K: Ord, V> Index<&K> for DetMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.inner.index(key)
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: BTreeMap::from_iter(iter),
+        }
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl<K, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a mut DetMap<K, V> {
+    type Item = (&'a K, &'a mut V);
+    type IntoIter = btree_map::IterMut<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// A set with deterministic, insertion-independent iteration order
+/// (ascending order). Drop-in for the `HashSet` subset the workspace
+/// uses; requires `T: Ord` instead of `T: Hash + Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetSet<T> {
+    inner: BTreeSet<T>,
+}
+
+impl<T> Default for DetSet<T> {
+    fn default() -> Self {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+}
+
+impl<T: Ord> DetSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        DetSet::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Adds `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value)
+    }
+
+    /// `true` if `value` is in the set.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains(value)
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: BTreeSet::from_iter(iter),
+        }
+    }
+}
+
+impl<T: Ord> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl<T> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = btree_set::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytes::{ByteReader, ByteWriter};
+    use crate::check::for_all;
+    use crate::rand::Rng;
+    use crate::{check, check_eq};
+
+    #[test]
+    fn map_iteration_order_is_insertion_independent() {
+        for_all("detmap_order_independent", 256, |rng| {
+            let n = rng.gen_range(0..32usize);
+            let mut pairs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.gen_range(0..64u64), rng.gen()))
+                .collect();
+            // De-duplicate keys, keeping the *last* write like repeated
+            // `insert` does.
+            let mut forward = DetMap::new();
+            for &(k, v) in &pairs {
+                forward.insert(k, v);
+            }
+            // A permuted insertion history with identical final contents:
+            // replay last-writer-wins, then insert in reversed first-seen
+            // order.
+            let mut last: DetMap<u64, u64> = DetMap::new();
+            for &(k, v) in &pairs {
+                last.insert(k, v);
+            }
+            pairs.reverse();
+            let mut backward = DetMap::new();
+            for (k, _) in pairs {
+                let v = *last.get(&k).expect("key came from pairs");
+                backward.insert(k, v);
+            }
+            check!(
+                forward.iter().eq(backward.iter()),
+                "iteration order depended on insertion history"
+            );
+            let keys: Vec<u64> = forward.keys().copied().collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            check_eq!(keys, sorted, "keys must come out in ascending order");
+        });
+    }
+
+    #[test]
+    fn set_iteration_order_is_insertion_independent() {
+        for_all("detset_order_independent", 256, |rng| {
+            let n = rng.gen_range(0..48usize);
+            let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64u64)).collect();
+            let forward: DetSet<u64> = values.iter().copied().collect();
+            let backward: DetSet<u64> = values.iter().rev().copied().collect();
+            check!(
+                forward.iter().eq(backward.iter()),
+                "set order depended on insertion history"
+            );
+            let got: Vec<u64> = forward.iter().copied().collect();
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            check_eq!(got, sorted);
+        });
+    }
+
+    #[test]
+    fn map_round_trips_through_byte_codec() {
+        for_all("detmap_codec_round_trip", 256, |rng| {
+            let n = rng.gen_range(0..24usize);
+            let mut map: DetMap<u64, u64> = DetMap::new();
+            for _ in 0..n {
+                map.insert(rng.gen_range(0..1000u64), rng.gen());
+            }
+            // Encode: length prefix + (key, value) pairs in iteration
+            // order. Because that order is content-determined, the
+            // encoding is canonical: equal maps encode identically.
+            let mut w = ByteWriter::new();
+            w.put_u32(map.len() as u32);
+            for (&k, &v) in map.iter() {
+                w.put_u64(k);
+                w.put_u64(v);
+            }
+            let buf = w.into_vec();
+
+            let mut r = ByteReader::new(&buf);
+            let len = r.get_u32().expect("length prefix") as usize;
+            let mut decoded: DetMap<u64, u64> = DetMap::new();
+            for _ in 0..len {
+                let k = r.get_u64().expect("key");
+                let v = r.get_u64().expect("value");
+                decoded.insert(k, v);
+            }
+            check!(r.is_empty(), "codec must consume the whole buffer");
+            check_eq!(map, decoded);
+
+            // Canonical encoding: re-encoding the decoded map is
+            // byte-identical.
+            let mut w2 = ByteWriter::new();
+            w2.put_u32(decoded.len() as u32);
+            for (&k, &v) in decoded.iter() {
+                w2.put_u64(k);
+                w2.put_u64(v);
+            }
+            check_eq!(buf, w2.into_vec());
+        });
+    }
+
+    #[test]
+    fn entry_api_inserts_and_updates() {
+        let mut m: DetMap<&str, u32> = DetMap::new();
+        *m.entry("a").or_insert(0) += 1;
+        *m.entry("a").or_insert(0) += 1;
+        *m.entry("b").or_insert(10) += 1;
+        assert_eq!(m.get(&"a"), Some(&2));
+        assert_eq!(m.get(&"b"), Some(&11));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2, "two"), None);
+        assert_eq!(m.insert(2, "TWO"), Some("two"));
+        assert!(m.contains_key(&2));
+        assert_eq!(m[&2], "TWO");
+        assert_eq!(m.remove(&2), Some("TWO"));
+        assert_eq!(m.remove(&2), None);
+        assert!(!m.contains_key(&2));
+    }
+
+    #[test]
+    fn set_basic_operations() {
+        let mut s = DetSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(&3));
+        assert!(s.remove(&3));
+        assert!(!s.remove(&3));
+        assert!(s.is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`check`] | `proptest` | `for_all` seeded property harness + `check!` macros |
 //! | [`bench`] | `criterion` | `bench_fn` median-of-N timing, JSON lines to `results/` |
 //! | [`bytes`] | `bytes` | big-endian `ByteWriter`/`ByteReader` |
+//! | [`det`] | `std::collections::Hash{Map,Set}` | `DetMap`/`DetSet` with deterministic iteration order |
 //!
 //! Beyond hermeticity, in-tree pseudo-randomness is a *scientific*
 //! requirement: the paper's figures are seeded experiments, and `rand`
@@ -25,4 +26,5 @@
 pub mod bench;
 pub mod bytes;
 pub mod check;
+pub mod det;
 pub mod rand;

@@ -31,9 +31,17 @@ if sed -n '/^\[workspace.dependencies\]/,/^\[/p' Cargo.toml \
 fi
 echo "dependency guard: OK (tao-* path dependencies only)"
 
-# ---- Build + test, fully offline. ------------------------------------------
-cargo build --release --offline
+# ---- Build + test, fully offline, warnings are errors. ----------------------
+RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline
+
+# ---- Lint stage: source-level determinism/hermeticity invariants. -----------
+# tao-lint walks every .rs file (its own crate included) and enforces
+# det-collections, no-wall-clock, no-unwrap-in-lib, and no-registry-import;
+# it prints a per-rule findings/waivers summary and exits nonzero on any
+# unwaived finding.
+cargo run --release --offline -p tao-lint -- --workspace
+echo "lint stage: OK"
 
 # ---- Determinism spot-check: same seed, byte-identical output. -------------
 # (The end_to_end suite asserts this in-process too; this catches any
