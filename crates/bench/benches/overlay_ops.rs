@@ -42,14 +42,14 @@ fn bench_owner_and_routing() {
     let mut i = 0;
     bench_fn("can_greedy_route_1k", || {
         i = (i + 1) % points.len();
-        black_box(can.route(live[i % live.len()], black_box(&points[i])));
+        let _ = black_box(can.route(live[i % live.len()], black_box(&points[i])));
     });
 
     let ecan = EcanOverlay::build(can, &mut RandomSelector::new(1));
     let mut i = 0;
     bench_fn("ecan_express_route_1k", || {
         i = (i + 1) % points.len();
-        black_box(ecan.route_express(live[i % live.len()], black_box(&points[i])));
+        let _ = black_box(ecan.route_express(live[i % live.len()], black_box(&points[i])));
     });
 }
 
@@ -71,7 +71,7 @@ fn bench_route_sample() {
     bench_fn("route_sample_512", || {
         let src = live[rng.gen_range(0..live.len())];
         let target = Point::random(2, &mut rng);
-        black_box(ecan.route_express(src, black_box(&target)));
+        let _ = black_box(ecan.route_express(src, black_box(&target)));
     });
 }
 

@@ -54,13 +54,17 @@ fn mean_hops_express(ecan: &EcanOverlay, routes: usize, seed: u64) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
+    // The zone-membership index in `CanOverlay` keeps joins near-constant,
+    // so the paper-scale sweep now extends well past the old 8,192 cap.
     let sizes: &[usize] = match scale {
-        Scale::Paper => &[1_024, 2_048, 4_096, 8_192],
+        Scale::Paper => &[1_024, 2_048, 4_096, 8_192, 16_384, 32_768],
         Scale::Mini => &[256, 512, 1_024, 2_048],
     };
     const ROUTES: usize = 300;
-    let mut rows = Vec::new();
-    for (i, &n) in sizes.iter().enumerate() {
+    // One task per size; the seed derives from (master=100, task index),
+    // so the table is byte-identical for any `TAO_WORKERS`.
+    let tasks: Vec<(usize, usize)> = sizes.iter().copied().enumerate().collect();
+    let rows = tao_bench::par_map(tasks, tao_bench::workers(), |(i, n)| {
         let seed = 100 + i as u64;
         let mut row = vec![format!("{n}")];
         for dims in 2..=5 {
@@ -69,9 +73,9 @@ fn main() {
         }
         let ecan = EcanOverlay::build(grown_can(n, 2, seed), &mut RandomSelector::new(seed));
         row.push(f3(mean_hops_express(&ecan, ROUTES, seed ^ 0xB)));
-        rows.push(row);
         eprintln!("fig02: finished n={n}");
-    }
+        row
+    });
     print_table(
         "Figure 2: average logical hops, CAN (d=2..5) vs eCAN (d=2)",
         &["nodes", "CAN d=2", "CAN d=3", "CAN d=4", "CAN d=5", "eCAN d=2"],

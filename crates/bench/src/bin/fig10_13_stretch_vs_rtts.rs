@@ -22,10 +22,11 @@ fn main() {
         ("Figure 12: tsk-small, GT-ITM latencies", scale.tsk_small(), LatencyAssignment::gt_itm()),
         ("Figure 13: tsk-small, manual latencies", scale.tsk_small(), LatencyAssignment::manual()),
     ];
+    let workers = tao_bench::workers();
     for (i, (title, params, latency)) in panels.into_iter().enumerate() {
         eprintln!("fig10-13: running panel {i}…");
         let topo = topology_for(&params, latency, 20 + i as u64);
-        let rows = stretch_vs_rtts(&topo, base, LANDMARK_COUNTS, RTT_BUDGETS, 30 + i as u64);
+        let rows = stretch_vs_rtts(&topo, base, LANDMARK_COUNTS, RTT_BUDGETS, 30 + i as u64, workers);
         // Layout: one column per landmark count, the optimal as a final row.
         let optimal = rows
             .iter()

@@ -2,57 +2,17 @@
 //! selection against the random-neighbor baseline, for large and small
 //! transits — figure 14 with GT-ITM latencies, figure 15 with manual ones.
 //!
+//! The `(size, strategy)` cells fan out over `TAO_WORKERS` threads; the
+//! report is byte-identical for any worker count.
+//!
 //! Expected shape: global state improves stretch by roughly 30–50% at every
 //! size; the improvement is more pronounced on tsk-large (where a bad hop
 //! crosses the backbone) and under manual latencies (more regular
 //! distances).
 
-use tao_bench::{f3, print_table, Scale};
-use tao_core::experiment::{stretch_vs_nodes, topology_for};
-use tao_topology::LatencyAssignment;
+use tao_bench::{fig14_15_report, workers, Fig1415Spec, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let base = scale.base_params();
-    let sizes: &[usize] = match scale {
-        Scale::Paper => &[256, 512, 1_024, 2_048, 4_096],
-        Scale::Mini => &[128, 256, 512],
-    };
-    let figures = [
-        ("Figure 14: latencies set by GT-ITM", LatencyAssignment::gt_itm()),
-        ("Figure 15: latencies set manually", LatencyAssignment::manual()),
-    ];
-    for (f, (title, latency)) in figures.into_iter().enumerate() {
-        eprintln!("fig14/15: running {title}…");
-        let large = topology_for(&scale.tsk_large(), latency, 40 + f as u64);
-        let small = topology_for(&scale.tsk_small(), latency, 50 + f as u64);
-        let rows_large = stretch_vs_nodes(&large, base, sizes, 60 + f as u64);
-        drop(large);
-        let rows_small = stretch_vs_nodes(&small, base, sizes, 70 + f as u64);
-        drop(small);
-        let table: Vec<Vec<String>> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| {
-                vec![
-                    n.to_string(),
-                    f3(rows_large[i].aware),
-                    f3(rows_small[i].aware),
-                    f3(rows_large[i].random),
-                    f3(rows_small[i].random),
-                ]
-            })
-            .collect();
-        print_table(
-            title,
-            &[
-                "nodes",
-                "large transit",
-                "small transit",
-                "large (random)",
-                "small (random)",
-            ],
-            &table,
-        );
-    }
+    let spec = Fig1415Spec::at_scale(Scale::from_env());
+    print!("{}", fig14_15_report(&spec, workers()));
 }

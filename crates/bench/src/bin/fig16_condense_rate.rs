@@ -17,7 +17,7 @@ fn main() {
     let base = scale.base_params();
     eprintln!("fig16: building tsk-large (manual latencies)…");
     let topo = topology_for(&scale.tsk_large(), LatencyAssignment::manual(), 81);
-    let rows = condense_sweep(&topo, base, RATES, 82);
+    let rows = condense_sweep(&topo, base, RATES, 82, tao_bench::workers());
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -28,7 +28,7 @@ fn main() {
     ] {
         eprintln!("sec54: running {name}…");
         let topo = topology_for(&params, LatencyAssignment::manual(), 101);
-        let g = gap_breakdown(&topo, base, 102);
+        let g = gap_breakdown(&topo, base, 102, tao_bench::workers());
         let constraint_pct = (g.optimal - 1.0) * 100.0;
         let generation_pct = (g.global_state / g.optimal - 1.0) * 100.0;
         let saved_pct = (1.0 - g.global_state / g.random) * 100.0;

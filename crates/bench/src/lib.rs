@@ -74,13 +74,16 @@ impl Scale {
     }
 }
 
-/// Prints a whitespace-aligned table: a header row, then one row per entry.
+/// Renders a whitespace-aligned table (leading blank line included) as a
+/// `String` — exactly what [`print_table`] emits. Sweeps that must prove
+/// byte-identical output across worker counts build their report through
+/// this and print once.
 ///
 /// # Panics
 ///
 /// Panics if any row's length differs from the header's.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n# {title}");
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("\n# {title}\n");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         assert_eq!(row.len(), headers.len(), "ragged table row");
@@ -97,15 +100,107 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    println!("{}", fmt_row(&head));
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints a whitespace-aligned table: a header row, then one row per entry.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(title, headers, rows));
 }
 
 /// Formats an `f64` with three decimals (common cell format).
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
+}
+
+/// Everything the figure-14/15 sweep needs. The binary fills this from
+/// the `TAO_SCALE` presets; the worker-determinism test feeds it a
+/// miniature topology so the full pipeline runs in milliseconds.
+#[derive(Debug, Clone)]
+pub struct Fig1415Spec {
+    /// The tsk-large topology preset.
+    pub large: TransitStubParams,
+    /// The tsk-small topology preset.
+    pub small: TransitStubParams,
+    /// Base experiment parameters (overlay size is overridden per row).
+    pub base: ExperimentParams,
+    /// Overlay sizes to sweep.
+    pub sizes: Vec<usize>,
+}
+
+impl Fig1415Spec {
+    /// The spec the `fig14_15_stretch_vs_nodes` binary runs at `scale`.
+    pub fn at_scale(scale: Scale) -> Fig1415Spec {
+        Fig1415Spec {
+            large: scale.tsk_large(),
+            small: scale.tsk_small(),
+            base: scale.base_params(),
+            sizes: match scale {
+                Scale::Paper => vec![256, 512, 1_024, 2_048, 4_096],
+                Scale::Mini => vec![128, 256, 512],
+            },
+        }
+    }
+}
+
+/// Runs the figures 14–15 sweep and renders both tables.
+///
+/// The returned string is what the binary prints to stdout; it is a pure
+/// function of `spec` — `workers` only fans the seeded runs out over
+/// threads, so any two worker counts yield byte-identical reports.
+pub fn fig14_15_report(spec: &Fig1415Spec, workers: usize) -> String {
+    use tao_core::experiment::{stretch_vs_nodes, topology_for};
+    use tao_topology::LatencyAssignment;
+    let figures = [
+        ("Figure 14: latencies set by GT-ITM", LatencyAssignment::gt_itm()),
+        ("Figure 15: latencies set manually", LatencyAssignment::manual()),
+    ];
+    let mut out = String::new();
+    for (f, (title, latency)) in figures.into_iter().enumerate() {
+        eprintln!("fig14/15: running {title}…");
+        let large = topology_for(&spec.large, latency, 40 + f as u64);
+        let rows_large = stretch_vs_nodes(&large, spec.base, &spec.sizes, 60 + f as u64, workers);
+        drop(large);
+        let small = topology_for(&spec.small, latency, 50 + f as u64);
+        let rows_small = stretch_vs_nodes(&small, spec.base, &spec.sizes, 70 + f as u64, workers);
+        drop(small);
+        let table: Vec<Vec<String>> = spec
+            .sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                vec![
+                    n.to_string(),
+                    f3(rows_large[i].aware),
+                    f3(rows_small[i].aware),
+                    f3(rows_large[i].random),
+                    f3(rows_small[i].random),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            title,
+            &[
+                "nodes",
+                "large transit",
+                "small transit",
+                "large (random)",
+                "small (random)",
+            ],
+            &table,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -124,98 +219,34 @@ mod tests {
     fn f3_formats() {
         assert_eq!(f3(1.23456), "1.235");
     }
-}
-
-/// Maps `f` over `items` on up to `workers` scoped threads, preserving
-/// order. Results arrive as if by `items.iter().map(f)`, but wall-clock
-/// drops by the parallelism the machine offers.
-///
-/// # Panics
-///
-/// Panics if `workers` is zero or a worker thread panics.
-pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    assert!(workers > 0, "need at least one worker");
-    let n = items.len();
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: std::sync::Mutex<Vec<(usize, T)>> =
-        std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.min(n.max(1)))
-            .map(|_| {
-                scope.spawn(|| loop {
-                    // A panicked worker poisons the queue; unwrap_or_else
-                    // lets the rest drain it so the panic surfaces via join.
-                    let next = work
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .pop();
-                    match next {
-                        Some((i, item)) => {
-                            let r = f(item);
-                            results
-                                .lock()
-                                .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                .push((i, r));
-                        }
-                        None => break,
-                    }
-                })
-            })
-            .collect();
-        // Propagate the first worker panic with its original payload,
-        // rather than swallowing it behind a generic scope error.
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-    for (i, r) in results.into_inner().unwrap_or_else(|p| p.into_inner()) {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot is filled")) // tao-lint: allow(no-unwrap-in-lib, reason = "every slot is filled")
-        .collect()
-}
-
-#[cfg(test)]
-mod par_tests {
-    use super::par_map;
 
     #[test]
-    fn preserves_order_and_covers_all_items() {
-        let out = par_map((0..100).collect::<Vec<i32>>(), 8, |x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+    fn format_table_matches_the_printed_layout() {
+        let s = format_table("t", &["a", "bbb"], &[vec!["10".into(), "2".into()]]);
+        assert_eq!(s, "\n# t\n a  bbb\n10    2\n");
     }
 
     #[test]
-    fn single_worker_degenerates_to_map() {
-        let out = par_map(vec!["a", "bb"], 1, |s| s.len());
-        assert_eq!(out, vec![1, 2]);
-    }
-
-    #[test]
-    fn worker_panics_propagate_with_their_payload() {
-        let caught = std::panic::catch_unwind(|| {
-            par_map(vec![1, 2, 3], 2, |x| {
-                if x == 2 {
-                    panic!("boom on {x}");
-                }
-                x
-            })
-        });
-        let payload = caught.expect_err("worker panic must propagate");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
-        assert!(msg.contains("boom on 2"), "payload lost: {msg}");
+    fn fig14_15_mini_report_is_byte_identical_across_worker_counts() {
+        // The full figure pipeline at toy scale: parallel scheduling must
+        // leave no trace in the rendered stdout report.
+        let mini = TransitStubParams::tsk_small_mini();
+        let spec = Fig1415Spec {
+            large: mini.clone(),
+            small: mini,
+            base: ExperimentParams {
+                overlay_nodes: 64,
+                landmarks: 5,
+                rtt_budget: 2,
+                ..Default::default()
+            },
+            sizes: vec![48, 64],
+        };
+        let one = fig14_15_report(&spec, 1);
+        let eight = fig14_15_report(&spec, 8);
+        assert_eq!(one, eight, "worker count leaked into the report");
+        assert!(one.contains("Figure 14") && one.contains("Figure 15"));
     }
 }
+
+pub use tao_util::par::{par_map, workers};

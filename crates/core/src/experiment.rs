@@ -3,6 +3,7 @@
 //! binaries (and tests) can print or assert on them.
 
 use tao_topology::{generate_transit_stub, LatencyAssignment, Topology, TransitStubParams};
+use tao_util::par::par_map;
 
 use crate::metrics::StretchSummary;
 use crate::params::{ExperimentParams, SelectionStrategy};
@@ -84,129 +85,149 @@ pub fn run_stretch(
 
 /// Figures 10–13: sweep landmark counts and RTT budgets on one topology,
 /// appending the optimal curve (encoded as `rtts = 0`).
+///
+/// The grid points are independent seeded runs, so they fan out over
+/// `workers` threads ([`tao_util::par::par_map`]); the row order — and
+/// every number in it — is identical for any worker count.
 pub fn stretch_vs_rtts(
     topology: &Topology,
     base: ExperimentParams,
     landmark_counts: &[usize],
     rtt_budgets: &[usize],
     seed: u64,
+    workers: usize,
 ) -> Vec<StretchVsRttsRow> {
-    let mut rows = Vec::new();
+    let mut grid: Vec<(usize, usize)> = Vec::new();
     for &landmarks in landmark_counts {
         for &rtts in rtt_budgets {
-            let params = ExperimentParams {
+            grid.push((landmarks, rtts));
+        }
+    }
+    // The optimal curve is independent of landmarks/budget; `(0, 0)`
+    // encodes it as the final task.
+    grid.push((0, 0));
+    par_map(grid, workers, |(landmarks, rtts)| {
+        let params = if landmarks == 0 {
+            ExperimentParams {
+                selection: SelectionStrategy::Optimal,
+                ..base
+            }
+        } else {
+            ExperimentParams {
                 landmarks,
                 rtt_budget: rtts,
                 selection: SelectionStrategy::GlobalState,
                 landmark_vector_index: base.landmark_vector_index.min(landmarks),
                 ..base
-            };
-            let stretch = run_stretch(topology, params, seed).mean();
-            rows.push(StretchVsRttsRow {
-                landmarks,
-                rtts,
-                stretch,
-            });
+            }
+        };
+        StretchVsRttsRow {
+            landmarks,
+            rtts,
+            stretch: run_stretch(topology, params, seed).mean(),
         }
-    }
-    // The optimal curve is independent of landmarks/budget.
-    let optimal = ExperimentParams {
-        selection: SelectionStrategy::Optimal,
-        ..base
-    };
-    rows.push(StretchVsRttsRow {
-        landmarks: 0,
-        rtts: 0,
-        stretch: run_stretch(topology, optimal, seed).mean(),
-    });
-    rows
+    })
 }
 
 /// Figures 14–15: sweep overlay sizes, comparing global-state selection
 /// against the random-neighbor baseline.
+///
+/// Each `(size, strategy)` cell is an independent seeded run; the sweep
+/// fans the cells out over `workers` threads and reassembles the rows in
+/// size order, so results are byte-identical for any worker count.
 pub fn stretch_vs_nodes(
     topology: &Topology,
     base: ExperimentParams,
     sizes: &[usize],
     seed: u64,
+    workers: usize,
 ) -> Vec<StretchVsNodesRow> {
+    let mut cells: Vec<(usize, SelectionStrategy)> = Vec::new();
+    for &nodes in sizes {
+        cells.push((nodes, SelectionStrategy::GlobalState));
+        cells.push((nodes, SelectionStrategy::Random));
+    }
+    let means = par_map(cells, workers, |(nodes, selection)| {
+        run_stretch(
+            topology,
+            ExperimentParams {
+                overlay_nodes: nodes,
+                selection,
+                ..base
+            },
+            seed,
+        )
+        .mean()
+    });
     sizes
         .iter()
-        .map(|&nodes| {
-            let aware = run_stretch(
-                topology,
-                ExperimentParams {
-                    overlay_nodes: nodes,
-                    selection: SelectionStrategy::GlobalState,
-                    ..base
-                },
-                seed,
-            )
-            .mean();
-            let random = run_stretch(
-                topology,
-                ExperimentParams {
-                    overlay_nodes: nodes,
-                    selection: SelectionStrategy::Random,
-                    ..base
-                },
-                seed,
-            )
-            .mean();
-            StretchVsNodesRow {
-                nodes,
-                aware,
-                random,
-            }
+        .zip(means.chunks_exact(2))
+        .map(|(&nodes, pair)| StretchVsNodesRow {
+            nodes,
+            aware: pair[0],
+            random: pair[1],
         })
         .collect()
 }
 
 /// Figure 16: sweep the map condense rate; report hosting burden and
 /// stretch at each rate.
+///
+/// Rates are independent seeded runs and fan out over `workers` threads;
+/// rows come back in the rates' order regardless of worker count.
 pub fn condense_sweep(
     topology: &Topology,
     base: ExperimentParams,
     rates: &[f64],
     seed: u64,
+    workers: usize,
 ) -> Vec<CondenseRow> {
-    rates
-        .iter()
-        .map(|&rate| {
-            let params = ExperimentParams {
-                condense_rate: rate,
-                selection: SelectionStrategy::GlobalState,
-                ..base
-            };
-            let mut b = TaoBuilder::new();
-            b.params(params).seed(seed);
-            let tao = b.build_on(topology.clone());
-            let entries_per_node = tao
-                .state()
-                .mean_entries_per_hosting_node(tao.ecan().can());
-            let stretch = tao
-                .measure_routing_stretch(routes_for(params.overlay_nodes), seed ^ 0xF00D)
-                .mean();
-            CondenseRow {
-                rate,
-                entries_per_node,
-                stretch,
-            }
-        })
-        .collect()
+    par_map(rates.to_vec(), workers, |rate| {
+        let params = ExperimentParams {
+            condense_rate: rate,
+            selection: SelectionStrategy::GlobalState,
+            ..base
+        };
+        let mut b = TaoBuilder::new();
+        b.params(params).seed(seed);
+        let tao = b.build_on(topology.clone());
+        let entries_per_node = tao
+            .state()
+            .mean_entries_per_hosting_node(tao.ecan().can());
+        let stretch = tao
+            .measure_routing_stretch(routes_for(params.overlay_nodes), seed ^ 0xF00D)
+            .mean();
+        CondenseRow {
+            rate,
+            entries_per_node,
+            stretch,
+        }
+    })
 }
 
 /// §5.4: the two performance gaps — overlay constraint (optimal − 1) and
 /// proximity-generation inaccuracy (global_state − optimal) — plus the
-/// random baseline they are measured against.
-pub fn gap_breakdown(topology: &Topology, base: ExperimentParams, seed: u64) -> GapBreakdown {
-    let run = |selection: SelectionStrategy| {
-        run_stretch(topology, ExperimentParams { selection, ..base }, seed).mean()
-    };
+/// random baseline they are measured against. The three strategies run
+/// as independent seeded tasks on up to `workers` threads.
+pub fn gap_breakdown(
+    topology: &Topology,
+    base: ExperimentParams,
+    seed: u64,
+    workers: usize,
+) -> GapBreakdown {
+    let means = par_map(
+        vec![
+            SelectionStrategy::Optimal,
+            SelectionStrategy::GlobalState,
+            SelectionStrategy::Random,
+        ],
+        workers,
+        |selection| run_stretch(topology, ExperimentParams { selection, ..base }, seed).mean(),
+    );
     GapBreakdown {
-        optimal: run(SelectionStrategy::Optimal),
-        global_state: run(SelectionStrategy::GlobalState),
-        random: run(SelectionStrategy::Random),
+        optimal: means[0],
+        global_state: means[1],
+        random: means[2],
     }
 }
 
@@ -239,7 +260,7 @@ mod tests {
     #[test]
     fn rtt_sweep_produces_expected_rows() {
         let topo = mini_topology();
-        let rows = stretch_vs_rtts(&topo, mini_base(), &[5], &[1, 10], 1);
+        let rows = stretch_vs_rtts(&topo, mini_base(), &[5], &[1, 10], 1, 3);
         assert_eq!(rows.len(), 3); // 1 landmark count x 2 budgets + optimal
         assert!(rows.iter().all(|r| r.stretch >= 1.0));
         let optimal = rows.last().unwrap();
@@ -256,7 +277,7 @@ mod tests {
     #[test]
     fn node_sweep_shows_awareness_winning() {
         let topo = mini_topology();
-        let rows = stretch_vs_nodes(&topo, mini_base(), &[64, 128], 2);
+        let rows = stretch_vs_nodes(&topo, mini_base(), &[64, 128], 2, 3);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(
@@ -270,9 +291,17 @@ mod tests {
     }
 
     #[test]
+    fn sweep_rows_are_identical_for_any_worker_count() {
+        let topo = mini_topology();
+        let seq = stretch_vs_nodes(&topo, mini_base(), &[64, 96], 5, 1);
+        let par = stretch_vs_nodes(&topo, mini_base(), &[64, 96], 5, 8);
+        assert_eq!(seq, par, "worker count leaked into the results");
+    }
+
+    #[test]
     fn gap_breakdown_orders_correctly() {
         let topo = mini_topology();
-        let g = gap_breakdown(&topo, mini_base(), 3);
+        let g = gap_breakdown(&topo, mini_base(), 3, 3);
         assert!(g.optimal >= 1.0);
         assert!(g.optimal <= g.global_state * 1.05);
         assert!(g.global_state < g.random);
@@ -281,7 +310,7 @@ mod tests {
     #[test]
     fn condense_sweep_reports_hosting_burden() {
         let topo = mini_topology();
-        let rows = condense_sweep(&topo, mini_base(), &[1.0, 0.125], 4);
+        let rows = condense_sweep(&topo, mini_base(), &[1.0, 0.125], 4, 2);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.entries_per_node > 0.0));
         // Condensing concentrates entries on fewer hosts; the mean over all

@@ -97,10 +97,11 @@ impl NeighborSelector for GlobalStateSelector<'_> {
             .lookup_in_hosted(target_box, query, self.rtt_budget, can, self.now);
         // Keep only candidates that are actual live members of the box (the
         // map may hold entries for nodes that since departed or whose zones
-        // grew past this box).
+        // grew past this box). `candidates` comes from `nodes_in`, which
+        // sorts, so membership is a binary search.
         let usable: Vec<&NodeInfo> = found
             .iter()
-            .filter(|i| candidates.contains(&i.node))
+            .filter(|i| candidates.binary_search(&i.node).is_ok())
             .collect();
         if usable.is_empty() {
             self.fallbacks += 1;

@@ -15,6 +15,7 @@ use tao_topology::NodeIdx;
 
 use crate::point::Point;
 use crate::zone::Zone;
+use crate::zone_index::{IndexHit, ZoneIndex};
 
 /// Identifies a node in an overlay. Dense per overlay; ids of departed
 /// nodes are *not* reused.
@@ -139,6 +140,10 @@ pub struct CanOverlay {
     nodes: Vec<NodeState>,
     tree: Option<TreeNode>,
     live_count: usize,
+    /// Morton index over live zones, maintained incrementally on
+    /// join/split/departure; serves aligned-cube `nodes_in` queries
+    /// without walking the split tree.
+    index: ZoneIndex,
 }
 
 impl CanOverlay {
@@ -154,6 +159,7 @@ impl CanOverlay {
             nodes: Vec::new(),
             tree: None,
             live_count: 0,
+            index: ZoneIndex::new(dims),
         })
     }
 
@@ -281,10 +287,34 @@ impl CanOverlay {
 
     /// All live nodes whose zones intersect `query` (positive volume).
     ///
+    /// Aligned-cube queries (the only kind the eCAN expressway tables
+    /// issue) are answered from the incremental Morton zone index — one
+    /// contiguous range scan instead of a split-tree walk. Other query
+    /// shapes fall back to [`CanOverlay::nodes_in_scan`].
+    ///
     /// # Panics
     ///
     /// Panics if dimensionalities differ.
     pub fn nodes_in(&self, query: &Zone) -> Vec<OverlayNodeId> {
+        assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
+        if self.tree.is_none() {
+            return Vec::new();
+        }
+        match self.index.lookup(query) {
+            Some(IndexHit::Members(mut out)) => {
+                out.sort();
+                out
+            }
+            // The cube sits strictly inside one zone; its centre names it.
+            Some(IndexHit::Enclosed) => vec![self.owner(&query.center())],
+            None => self.nodes_in_scan(query),
+        }
+    }
+
+    /// Tree-walk implementation of [`CanOverlay::nodes_in`]: visits every
+    /// split node whose region intersects `query`. Kept as the fallback
+    /// for non-cube queries and as the benchmark "before" kernel.
+    pub fn nodes_in_scan(&self, query: &Zone) -> Vec<OverlayNodeId> {
         assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
         let mut out = Vec::new();
         if let Some(root) = &self.tree {
@@ -296,9 +326,16 @@ impl CanOverlay {
     }
 
     /// Number of live nodes whose zones intersect `query`, without
-    /// materialising them — O(intersecting leaves).
+    /// sorting them.
     pub fn count_in(&self, query: &Zone) -> usize {
-        self.nodes_in(query).len()
+        if self.tree.is_none() {
+            return 0;
+        }
+        match self.index.lookup(query) {
+            Some(IndexHit::Members(out)) => out.len(),
+            Some(IndexHit::Enclosed) => 1,
+            None => self.nodes_in_scan(query).len(),
+        }
     }
 
     /// A uniformly-random-ish live member of `query` (weighted by zone
@@ -388,6 +425,7 @@ impl CanOverlay {
             });
             self.tree = Some(TreeNode::Leaf(new_id));
             self.live_count = 1;
+            self.index.insert(&Zone::whole(self.dims), new_id);
             return new_id;
         }
 
@@ -439,6 +477,11 @@ impl CanOverlay {
                 upper: Box::new(TreeNode::Leaf(upper_id)),
             },
         );
+
+        // Update the zone index: the split zone is replaced by its halves.
+        self.index.remove(&owner_zone);
+        self.index.insert(&old_zone, owner);
+        self.index.insert(&new_zone, new_id);
 
         // Update owner's zone and both depths.
         self.nodes[owner.index()].zones[zone_idx] = old_zone;
@@ -529,6 +572,9 @@ impl CanOverlay {
 
         // The taker now owns all of the departing node's zones.
         let departed_zones = std::mem::take(&mut self.nodes[id.index()].zones);
+        for z in &departed_zones {
+            self.index.reassign(z, taker);
+        }
         self.nodes[taker.index()].zones.extend(departed_zones);
 
         // The taker inherits the departing node's neighbors.
@@ -861,6 +907,51 @@ mod tests {
             seen.insert(can.sample_in(&left, &mut rng).expect("populated"));
         }
         assert!(seen.len() > 3, "sampling should reach many members, got {}", seen.len());
+    }
+
+    #[test]
+    fn indexed_nodes_in_matches_tree_walk() {
+        // The Morton index must reproduce the tree walk byte-for-byte on
+        // aligned cubes — including duplicate ids after takeovers — at
+        // every dimensionality the experiments use.
+        for d in 2..=5usize {
+            let mut can = CanOverlay::new(d).unwrap();
+            let mut rng = StdRng::seed_from_u64(31 + d as u64);
+            for i in 0..128 {
+                can.join(NodeIdx(i), Point::random(d, &mut rng));
+            }
+            // Churn so takers own several zones (duplicates in nodes_in).
+            for id in [5u32, 17, 40, 77, 99] {
+                can.leave(OverlayNodeId(id)).unwrap();
+            }
+            for level in 0..=4u32 {
+                let side = 0.5f64.powi(level as i32);
+                let cells = 1u32 << level;
+                for _ in 0..20 {
+                    let lo: Vec<f64> = (0..d)
+                        .map(|_| rng.gen_range(0..cells) as f64 * side)
+                        .collect();
+                    let hi: Vec<f64> = lo.iter().map(|l| l + side).collect();
+                    let cube = Zone::from_bounds(lo, hi).unwrap();
+                    assert_eq!(
+                        can.nodes_in(&cube),
+                        can.nodes_in_scan(&cube),
+                        "index/scan divergence at d={d} level={level}"
+                    );
+                    assert_eq!(can.count_in(&cube), can.nodes_in_scan(&cube).len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enclosed_cube_resolves_to_the_surrounding_zone_owner() {
+        let mut can = CanOverlay::new(2).unwrap();
+        can.join(NodeIdx(0), Point::new(vec![0.1, 0.1]).unwrap());
+        // A deep cube strictly inside the single whole-space zone.
+        let cube = Zone::from_bounds(vec![0.25, 0.25], vec![0.375, 0.375]).unwrap();
+        assert_eq!(can.nodes_in(&cube), vec![OverlayNodeId(0)]);
+        assert_eq!(can.count_in(&cube), 1);
     }
 
     #[test]

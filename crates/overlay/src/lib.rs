@@ -47,6 +47,7 @@ pub mod pastry;
 mod point;
 pub mod tacan;
 mod zone;
+mod zone_index;
 
 pub use can::{CanOverlay, OverlayError, OverlayNodeId, Route};
 pub use point::Point;

@@ -8,7 +8,9 @@
 //! information about physically close nodes lands on the same or adjacent
 //! hosts.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::ops::Bound;
 
 use tao_util::det::DetMap;
 
@@ -71,17 +73,32 @@ pub struct ZoneMap {
     /// Secondary index: each node's current landmark number, enforcing one
     /// entry per node per map even when its coordinates change.
     by_node: DetMap<OverlayNodeId, u128>,
+    /// Spatial index: entries keyed by the Morton code of their storage
+    /// position (then their `entries` key), so "entries hosted inside this
+    /// CAN zone" is a handful of contiguous range scans instead of an
+    /// owner lookup per entry — the hot path of the hosted lookup.
+    by_position: BTreeMap<(u128, u128, OverlayNodeId), ()>,
+    /// Expiry wheel: `(expires_at, entry key)` stamps in a lazy min-heap.
+    /// Refreshes push a new stamp and leave the old one to be skipped, so
+    /// `expire` pops only lapsed stamps instead of scanning every entry.
+    wheel: BinaryHeap<Reverse<(SimTime, u128, OverlayNodeId)>>,
+    /// Morton bits per axis for `by_position`.
+    pos_bits: u32,
 }
 
 impl ZoneMap {
     /// Creates an empty map for `region`, condensing it per the config.
     pub fn new(region: Zone, config: &SoftStateConfig) -> Self {
         let condensed = condensed_box(&region, config.condense_rate());
+        let pos_bits = ((128 / region.dims().max(1)) as u32).min(32);
         ZoneMap {
             region,
             condensed,
             entries: BTreeMap::new(),
             by_node: DetMap::new(),
+            by_position: BTreeMap::new(),
+            wheel: BinaryHeap::new(),
+            pos_bits,
         }
     }
 
@@ -130,43 +147,89 @@ impl ZoneMap {
         // under its previous landmark number first.
         if let Some(&old) = self.by_node.get(&info.node) {
             if old != info.number.value() {
-                self.entries.remove(&(old, info.node));
+                self.drop_entry(old, info.node);
             }
         }
         let position = self.position_for(info.number, config);
         let key = (info.number.value(), info.node);
+        let expires_at = now + config.ttl();
         self.by_node.insert(info.node, info.number.value());
+        self.by_position
+            .insert((self.position_code(&position), key.0, key.1), ());
+        self.wheel.push(Reverse((expires_at, key.0, key.1)));
         self.entries.insert(
             key,
             SoftStateEntry {
                 info,
                 position: position.clone(),
-                expires_at: now + config.ttl(),
+                expires_at,
             },
         );
         position
     }
 
+    /// Removes `(number, node)` from `entries` and `by_position` (not
+    /// `by_node`; callers manage that).
+    fn drop_entry(&mut self, number: u128, node: OverlayNodeId) -> bool {
+        match self.entries.remove(&(number, node)) {
+            Some(e) => {
+                self.by_position
+                    .remove(&(self.position_code(&e.position), number, node));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Removes the entry of `node`, returning whether one existed.
     pub fn remove(&mut self, node: OverlayNodeId) -> bool {
         match self.by_node.remove(&node) {
-            Some(number) => self.entries.remove(&(number, node)).is_some(),
+            Some(number) => self.drop_entry(number, node),
             None => false,
         }
     }
 
     /// Drops entries that have lapsed by `now`; returns how many.
+    ///
+    /// Runs off the expiry wheel: only stamps at or before `now` are
+    /// popped, so a sweep over a map where nothing has lapsed is O(1)
+    /// instead of a full scan. Stamps left behind by refreshes or removals
+    /// no longer match their entry's current TTL and are skipped.
     pub fn expire(&mut self, now: SimTime) -> usize {
-        let before = self.entries.len();
-        let by_node = &mut self.by_node;
-        self.entries.retain(|_, e| {
-            let live = e.is_live(now);
-            if !live {
-                by_node.remove(&e.info.node);
+        let mut dropped = 0;
+        while let Some(&Reverse((at, number, node))) = self.wheel.peek() {
+            if at > now {
+                break;
             }
-            live
-        });
-        before - self.entries.len()
+            self.wheel.pop();
+            let lapsed = self
+                .entries
+                .get(&(number, node))
+                .is_some_and(|e| e.expires_at == at);
+            if lapsed {
+                self.drop_entry(number, node);
+                self.by_node.remove(&node);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Scan-based implementation of [`ZoneMap::expire`]: visits every
+    /// entry. Kept as the benchmark "before" kernel for the expiry wheel;
+    /// produces the same result.
+    pub fn expire_scan(&mut self, now: SimTime) -> usize {
+        let lapsed: Vec<(u128, OverlayNodeId)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.is_live(now))
+            .map(|(&k, _)| k)
+            .collect();
+        for &(number, node) in &lapsed {
+            self.drop_entry(number, node);
+            self.by_node.remove(&node);
+        }
+        lapsed.len()
     }
 
     /// Re-stamps the TTL of `node`'s entry; returns whether it existed.
@@ -177,6 +240,8 @@ impl ZoneMap {
         match self.entries.get_mut(&(number, node)) {
             Some(e) => {
                 e.refresh(now, config.ttl());
+                let expires_at = e.expires_at;
+                self.wheel.push(Reverse((expires_at, number, node)));
                 true
             }
             None => false,
@@ -231,6 +296,114 @@ impl ZoneMap {
         self.entries.values().filter(move |e| e.is_live(now))
     }
 
+    /// The live entries whose storage position lies inside `zone`.
+    ///
+    /// For dyadic zones (every CAN zone) this is a few contiguous range
+    /// scans of the Morton position index; other shapes fall back to a
+    /// filtered full scan. Both paths agree with
+    /// `zone.contains(&entry.position)` exactly.
+    pub fn live_entries_in(&self, zone: &Zone, now: SimTime) -> Vec<&SoftStateEntry> {
+        match self.morton_ranges(zone) {
+            Some(ranges) => {
+                let mut out = Vec::new();
+                for (start, end) in ranges {
+                    let lower = Bound::Included((start, 0u128, OverlayNodeId(0)));
+                    let upper = match end {
+                        Some(e) => Bound::Excluded((e, 0u128, OverlayNodeId(0))),
+                        None => Bound::Unbounded,
+                    };
+                    for (&(_, number, node), ()) in self.by_position.range((lower, upper)) {
+                        if let Some(e) = self.entries.get(&(number, node)) {
+                            if e.is_live(now) {
+                                out.push(e);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            None => self
+                .live_entries(now)
+                .filter(|e| zone.contains(&e.position))
+                .collect(),
+        }
+    }
+
+    /// The Morton code of a storage position: per-axis `floor(x * 2^bits)`
+    /// interleaved. Quantisation classifies positions against dyadic zone
+    /// bounds of level ≤ `pos_bits` exactly.
+    fn position_code(&self, p: &Point) -> u128 {
+        let d = self.region.dims();
+        let scale = (1u64 << self.pos_bits) as f64;
+        let cells = 1u64 << self.pos_bits;
+        let mut code = 0u128;
+        for a in 0..d {
+            let q = ((p.coord(a) * scale) as u64).min(cells - 1);
+            code |= spread(q, d, self.pos_bits) << a;
+        }
+        code
+    }
+
+    /// Decomposes `zone` into aligned-cube Morton ranges, or `None` when
+    /// its bounds are not dyadic of level ≤ `pos_bits` (fall back to a
+    /// scan). `(start, None)` means "to the end of the keyspace".
+    fn morton_ranges(&self, zone: &Zone) -> Option<Vec<(u128, Option<u128>)>> {
+        let d = self.region.dims();
+        if zone.dims() != d {
+            return None;
+        }
+        let bits = self.pos_bits;
+        let mut levels = Vec::with_capacity(d);
+        let mut max_level = 0u32;
+        for a in 0..d {
+            let ext = zone.extent(a);
+            if !(ext > 0.0 && ext <= 1.0) {
+                return None;
+            }
+            let l = -ext.log2();
+            if l.fract() != 0.0 || l < 0.0 || l > bits as f64 {
+                return None;
+            }
+            // Dyadic intervals are aligned to their own width.
+            if (zone.lo(a) / ext).fract() != 0.0 {
+                return None;
+            }
+            let l = l as u32;
+            max_level = max_level.max(l);
+            levels.push(l);
+        }
+        // Cover the box with cubes of side 2^-max_level: the per-axis
+        // cartesian product of sub-offsets. CAN zones are balanced (axis
+        // levels within one of each other), so this is at most 2^(d-1)
+        // cubes; cap the blow-up for arbitrary callers.
+        let steps: Vec<u64> = levels.iter().map(|&l| 1u64 << (max_level - l)).collect();
+        let total: u64 = steps.iter().product();
+        if total > 1 << 10 {
+            return None;
+        }
+        let span_shift = (bits - max_level) as usize * d;
+        let mut ranges = Vec::with_capacity(total as usize);
+        for cube in 0..total {
+            let mut base = 0u128;
+            let mut rem = cube;
+            for a in 0..d {
+                let offset = rem % steps[a];
+                rem /= steps[a];
+                // zone.lo quantises exactly: level ≤ bits and aligned.
+                let q = (zone.lo(a) * (1u64 << bits) as f64) as u64
+                    + (offset << (bits - max_level));
+                base |= spread(q, d, bits) << a;
+            }
+            let end = if span_shift >= 128 {
+                None
+            } else {
+                (1u128 << span_shift).checked_add(base)
+            };
+            ranges.push((base, end));
+        }
+        Some(ranges)
+    }
+
     /// Iterates over all entries, live or stale.
     pub fn entries(&self) -> impl Iterator<Item = &SoftStateEntry> {
         self.entries.values()
@@ -245,6 +418,18 @@ impl ZoneMap {
         }
         hosts
     }
+}
+
+/// Spreads the low `bits` bits of `v` so bit `j` lands at position
+/// `j * dims` — one axis's lane of a Morton code.
+fn spread(v: u64, dims: usize, bits: u32) -> u128 {
+    let mut out = 0u128;
+    for j in 0..bits {
+        if (v >> j) & 1 == 1 {
+            out |= 1u128 << (j as usize * dims);
+        }
+    }
+    out
 }
 
 /// The sub-box of `region` holding its map: per-axis extents scaled by
@@ -404,6 +589,109 @@ mod tests {
         assert!(narrow.len() <= 2);
         let wide = map.lookup(&query, qn, 10, 32, SimTime::ORIGIN);
         assert_eq!(wide.len(), 10);
+    }
+
+    /// A canonical, order-free fingerprint of an entry set.
+    fn key_set(entries: Vec<&SoftStateEntry>) -> Vec<(u128, OverlayNodeId)> {
+        let mut v: Vec<_> = entries
+            .iter()
+            .map(|e| (e.info.number.value(), e.info.node))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All dyadic sub-boxes of the unit square down to `max_level` splits
+    /// per axis, plus one deliberately non-dyadic box (fallback path).
+    fn query_zones(max_level: u32) -> Vec<Zone> {
+        let mut zones = vec![Zone::whole(2)];
+        for lx in 0..=max_level {
+            for ly in 0..=max_level {
+                let (sx, sy) = (0.5f64.powi(lx as i32), 0.5f64.powi(ly as i32));
+                for ix in 0..(1u32 << lx) {
+                    for iy in 0..(1u32 << ly) {
+                        let lo = vec![ix as f64 * sx, iy as f64 * sy];
+                        let hi = vec![lo[0] + sx, lo[1] + sy];
+                        zones.push(Zone::from_bounds(lo, hi).unwrap());
+                    }
+                }
+            }
+        }
+        zones.push(Zone::from_bounds(vec![0.1, 0.2], vec![0.55, 0.9]).unwrap());
+        zones
+    }
+
+    #[test]
+    fn live_entries_in_matches_the_contains_filter() {
+        let cfg = config();
+        let mut map = ZoneMap::new(Zone::whole(2), &cfg);
+        for i in 0..60u32 {
+            let base = 5.0 + i as f64 * 5.3;
+            map.publish(
+                info(i, [base, base + 7.0, base + 3.0], &cfg),
+                SimTime::ORIGIN,
+                &cfg,
+            );
+        }
+        // Mutate: refresh a few, remove a few, republish one under a new
+        // vector so its old position is vacated.
+        let later = SimTime::ORIGIN + cfg.ttl() / 2;
+        for id in [3u32, 17, 40] {
+            assert!(map.refresh(OverlayNodeId(id), later, &cfg));
+        }
+        for id in [9u32, 22] {
+            assert!(map.remove(OverlayNodeId(id)));
+        }
+        map.publish(info(30, [290.0, 280.0, 300.0], &cfg), later, &cfg);
+        // Probe both while everything is live and after the un-refreshed
+        // entries lapse (index must not resurrect dead entries).
+        let lapsed = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_micros(1);
+        for now in [later, lapsed] {
+            for zone in query_zones(3) {
+                let indexed = key_set(map.live_entries_in(&zone, now));
+                let scanned = key_set(
+                    map.live_entries(now)
+                        .filter(|e| zone.contains(&e.position))
+                        .collect(),
+                );
+                assert_eq!(indexed, scanned, "zone {zone:?} at {now:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_expire_matches_the_full_scan() {
+        let cfg = config();
+        let mut wheel = ZoneMap::new(Zone::whole(2), &cfg);
+        let mut scan = ZoneMap::new(Zone::whole(2), &cfg);
+        for i in 0..40u32 {
+            let base = 8.0 + i as f64 * 7.7;
+            let at = SimTime::ORIGIN + SimDuration::from_millis(i as u64 * 250);
+            let nfo = info(i, [base, base + 2.0, base + 9.0], &cfg);
+            wheel.publish(nfo.clone(), at, &cfg);
+            scan.publish(nfo, at, &cfg);
+        }
+        let mid = SimTime::ORIGIN + SimDuration::from_millis(2_000);
+        for id in [2u32, 5, 11] {
+            wheel.refresh(OverlayNodeId(id), mid, &cfg);
+            scan.refresh(OverlayNodeId(id), mid, &cfg);
+        }
+        wheel.remove(OverlayNodeId(7));
+        scan.remove(OverlayNodeId(7));
+        // Expire in two waves; the lazy wheel and the full scan must drop
+        // the same entries each time.
+        for wave_ms in [4_500u64, 1_000_000] {
+            let now = SimTime::ORIGIN + cfg.ttl() + SimDuration::from_millis(wave_ms);
+            let dropped_wheel = wheel.expire(now);
+            let dropped_scan = scan.expire_scan(now);
+            assert_eq!(dropped_wheel, dropped_scan);
+            assert_eq!(
+                key_set(wheel.live_entries(now).collect()),
+                key_set(scan.live_entries(now).collect()),
+            );
+            assert_eq!(wheel.len(), scan.len());
+        }
+        assert!(wheel.is_empty(), "everything lapses eventually");
     }
 
     #[test]

@@ -149,13 +149,78 @@ impl GlobalState {
         let mut widened = false;
         loop {
             candidates.clear();
+            // An entry is stored by a host exactly when its position falls
+            // in one of the host's zones, so each host contributes the live
+            // entries of its zones — a Morton range probe per zone instead
+            // of an owner() walk per entry.
+            for &h in &hosts {
+                let Ok(zones) = can.zones(h) else { continue };
+                for zone in zones {
+                    candidates.extend(
+                        map.live_entries_in(zone, now)
+                            .into_iter()
+                            .filter(|e| e.info.node != query.node),
+                    );
+                }
+            }
+            if candidates.len() >= max || widened {
+                break;
+            }
+            // TTL widening: one ring of CAN neighbors around the host.
+            if let Ok(neighbors) = can.neighbors(host) {
+                for n in neighbors {
+                    if !hosts.contains(&n) {
+                        hosts.push(n);
+                    }
+                }
+            }
+            widened = true;
+        }
+        candidates.sort_by(|a, b| {
+            let da = query.vector.euclidean_ms(&a.info.vector);
+            let db = query.vector.euclidean_ms(&b.info.vector);
+            da.partial_cmp(&db)
+                .expect("distances are finite") // tao-lint: allow(no-unwrap-in-lib, reason = "distances are finite")
+                .then(a.info.node.cmp(&b.info.node))
+        });
+        candidates
+            .into_iter()
+            .take(max)
+            .map(|e| e.info.clone())
+            .collect()
+    }
+
+    /// Reference implementation of [`lookup_in_hosted`]: classifies every
+    /// live map entry with an `owner()` tree walk instead of probing the
+    /// hosts' zones through the map's position index. Kept as the benchmark
+    /// "before" kernel and as the oracle the indexed path is tested against;
+    /// both return identical results.
+    ///
+    /// [`lookup_in_hosted`]: GlobalState::lookup_in_hosted
+    pub fn lookup_in_hosted_scan(
+        &self,
+        region: &Zone,
+        query: &NodeInfo,
+        max: usize,
+        can: &CanOverlay,
+        now: SimTime,
+    ) -> Vec<NodeInfo> {
+        let Some(map) = self.map(region) else {
+            return Vec::new();
+        };
+        let landing = map.position_for(query.number, &self.config);
+        let host = can.owner(&landing);
+        let mut hosts: Vec<OverlayNodeId> = vec![host];
+        let mut candidates: Vec<&crate::entry::SoftStateEntry> = Vec::new();
+        let mut widened = false;
+        loop {
+            candidates.clear();
             candidates.extend(map.live_entries(now).filter(|e| {
                 e.info.node != query.node && hosts.contains(&can.owner(&e.position))
             }));
             if candidates.len() >= max || widened {
                 break;
             }
-            // TTL widening: one ring of CAN neighbors around the host.
             if let Ok(neighbors) = can.neighbors(host) {
                 hosts.extend(neighbors);
             }
@@ -385,6 +450,40 @@ mod tests {
         let report = state.convergence_report(&ecan, &[a], SimTime::ORIGIN);
         assert!(report.stale > 0);
         assert!(!report.is_converged());
+    }
+
+    #[test]
+    fn hosted_lookup_matches_the_owner_walk_oracle() {
+        let (ecan, mut state) = setup(96);
+        for i in 0..96u32 {
+            let base = 5.0 + (i as f64 * 3.1) % 280.0;
+            let info = info_for(&state, i, [base, base + 4.0, base + 11.0]);
+            state.publish(info, &ecan, SimTime::ORIGIN);
+        }
+        let later = SimTime::ORIGIN + state.config().ttl() / 2;
+        for id in [4u32, 19, 55] {
+            state.refresh(OverlayNodeId(id), later);
+        }
+        for id in [8u32, 30] {
+            state.remove(OverlayNodeId(id));
+        }
+        // Probe every region map, several query vectors, both while all
+        // entries are live and after the un-refreshed ones lapse.
+        let lapsed = SimTime::ORIGIN + state.config().ttl() + SimDuration::from_micros(1);
+        let regions: Vec<Zone> = state.maps().map(|m| m.region().clone()).collect();
+        for now in [later, lapsed] {
+            for region in &regions {
+                for q in [0u32, 7, 50, 91] {
+                    let query = info_for(&state, q, [15.0 + q as f64, 60.0, 140.0]);
+                    for max in [1usize, 4, 16] {
+                        let fast = state.lookup_in_hosted(region, &query, max, ecan.can(), now);
+                        let slow =
+                            state.lookup_in_hosted_scan(region, &query, max, ecan.can(), now);
+                        assert_eq!(fast, slow, "region {region:?} q={q} max={max}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -70,6 +70,50 @@ struct Edge {
     class: EdgeClass,
 }
 
+/// One CSR half-edge: target node and link latency, interleaved so the
+/// Dijkstra inner loop reads a single contiguous stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CsrEdge {
+    /// Target node index.
+    pub(crate) to: u32,
+    /// Link latency.
+    pub(crate) weight: SimDuration,
+}
+
+/// Flat CSR view of the adjacency lists, built lazily on first shortest-path
+/// query. One contiguous edge array keeps the Dijkstra inner loop on a
+/// single cache-friendly stream instead of chasing one heap-allocated
+/// `Vec<Edge>` per visited node.
+#[derive(Debug, Clone)]
+pub(crate) struct Csr {
+    /// `offsets[n]..offsets[n + 1]` is node `n`'s slice of `edges`.
+    offsets: Vec<u32>,
+    edges: Vec<CsrEdge>,
+}
+
+impl Csr {
+    fn build(adj: &[Vec<Edge>]) -> Csr {
+        let half_edges: usize = adj.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut flat = Vec::with_capacity(half_edges);
+        offsets.push(0);
+        for edges in adj {
+            for e in edges {
+                flat.push(CsrEdge { to: e.to.0, weight: e.latency });
+            }
+            offsets.push(flat.len() as u32);
+        }
+        Csr { offsets, edges: flat }
+    }
+
+    /// Node `n`'s outgoing edge slice.
+    pub(crate) fn row(&self, n: usize) -> &[CsrEdge] {
+        let lo = self.offsets[n] as usize;
+        let hi = self.offsets[n + 1] as usize;
+        &self.edges[lo..hi]
+    }
+}
+
 /// An undirected router graph with latency-weighted edges.
 ///
 /// # Example
@@ -90,6 +134,8 @@ pub struct Graph {
     kinds: Vec<NodeKind>,
     adj: Vec<Vec<Edge>>,
     edge_count: usize,
+    /// Lazily-built CSR mirror of `adj`; invalidated by every mutation.
+    csr: std::sync::OnceLock<Csr>,
 }
 
 impl Graph {
@@ -103,6 +149,7 @@ impl Graph {
         let idx = NodeIdx(self.kinds.len() as u32);
         self.kinds.push(kind);
         self.adj.push(Vec::new());
+        self.csr = std::sync::OnceLock::new();
         idx
     }
 
@@ -119,6 +166,7 @@ impl Graph {
         self.adj[a.index()].push(Edge { to: b, latency, class });
         self.adj[b.index()].push(Edge { to: a, latency, class });
         self.edge_count += 1;
+        self.csr = std::sync::OnceLock::new();
     }
 
     /// `true` if an edge between `a` and `b` already exists.
@@ -175,6 +223,11 @@ impl Graph {
         self.nodes().filter(|&n| self.kind(n).is_stub()).collect()
     }
 
+    /// The CSR adjacency view, built on first use after any mutation.
+    pub(crate) fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(&self.adj))
+    }
+
     /// `true` if every router can reach every other (BFS from node 0).
     /// An empty graph counts as connected.
     pub fn is_connected(&self) -> bool {
@@ -202,6 +255,7 @@ impl Graph {
     /// Used by [`LatencyAssignment`](crate::LatencyAssignment) to re-weight
     /// an already-built graph.
     pub fn reassign_latencies(&mut self, mut f: impl FnMut(EdgeClass, SimDuration) -> SimDuration) {
+        self.csr = std::sync::OnceLock::new();
         // Visit each undirected edge once (from the lower endpoint), then
         // mirror the new weight onto the reverse half-edge.
         for a in 0..self.adj.len() {
@@ -291,6 +345,28 @@ mod tests {
             .find(|(to, _, _)| *to == NodeIdx(0))
             .unwrap();
         assert_eq!(lat_rev, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_and_tracks_mutation() {
+        let mut g = triangle();
+        for n in 0..g.node_count() {
+            let listed: Vec<(NodeIdx, SimDuration)> = g
+                .csr()
+                .row(n)
+                .iter()
+                .map(|e| (NodeIdx(e.to), e.weight))
+                .collect();
+            let direct: Vec<(NodeIdx, SimDuration)> =
+                g.neighbors(NodeIdx(n as u32)).map(|(v, w, _)| (v, w)).collect();
+            assert_eq!(listed, direct);
+        }
+        // Mutation invalidates the cached view.
+        g.reassign_latencies(|_, _| SimDuration::from_millis(99));
+        assert!(g.csr().row(0).iter().all(|e| e.weight == SimDuration::from_millis(99)));
+        let d = g.add_node(NodeKind::Stub { domain: 5 });
+        g.add_edge(NodeIdx(0), d, SimDuration::from_millis(1), EdgeClass::IntraStub);
+        assert_eq!(g.csr().row(d.index()).iter().map(|e| e.to).collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod transit_stub;
 pub use graph::{EdgeClass, Graph, NodeIdx, NodeKind};
 pub use latency::{LatencyAssignment, LatencyRanges, ManualLatencies};
 pub use rtt::RttOracle;
-pub use shortest_path::{shortest_paths, SpCache};
+pub use shortest_path::{shortest_paths, shortest_paths_scan, SpCache};
 pub use transit_stub::{
     generate_transit_stub, ParamsError, Topology, TransitStubParams, TransitStubParamsBuilder,
 };

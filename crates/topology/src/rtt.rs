@@ -82,11 +82,10 @@ impl RttOracle {
     /// Pre-computes (and pins in cache) the distance vectors of `sources`.
     ///
     /// Measuring many nodes against a fixed landmark set afterwards costs
-    /// one cache hit per probe instead of one Dijkstra per node.
+    /// one cache hit per probe instead of one Dijkstra per node. The pins
+    /// survive capacity flushes of the underlying [`SpCache`].
     pub fn warm(&self, sources: &[NodeIdx]) {
-        for &s in sources {
-            let _ = self.cache.distances(&self.graph, s);
-        }
+        self.cache.warm(&self.graph, sources);
     }
 
     /// Total probes charged so far.

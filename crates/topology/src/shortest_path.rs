@@ -8,8 +8,9 @@
 
 use std::collections::BinaryHeap;
 use std::cmp::Reverse;
-use tao_util::det::DetMap;
-use std::sync::{Arc, RwLock};
+use tao_util::det::{DetMap, DetSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use tao_sim::SimDuration;
 
 use crate::graph::{Graph, NodeIdx};
@@ -37,6 +38,38 @@ use crate::graph::{Graph, NodeIdx};
 /// assert_eq!(d[c.index()], SimDuration::from_millis(11)); // via b, not direct
 /// ```
 pub fn shortest_paths(graph: &Graph, source: NodeIdx) -> Vec<SimDuration> {
+    let n = graph.node_count();
+    assert!(source.index() < n, "source {source} out of range");
+    // The inner loop runs over the graph's flat CSR adjacency: one
+    // contiguous edge stream per settled node instead of a per-node
+    // Vec<Edge>. Staleness is detected by distance comparison alone, so
+    // there is no `done` bitmap to touch per edge.
+    let csr = graph.csr();
+    let mut dist = vec![SimDuration::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(SimDuration, NodeIdx)>> =
+        BinaryHeap::with_capacity(n.min(1 + graph.edge_count()));
+    dist[source.index()] = SimDuration::ZERO;
+    heap.push(Reverse((SimDuration::ZERO, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue; // stale entry: u was settled at a smaller distance
+        }
+        for e in csr.row(u.index()) {
+            let nd = d + e.weight;
+            let slot = &mut dist[e.to as usize];
+            if nd < *slot {
+                *slot = nd;
+                heap.push(Reverse((nd, NodeIdx(e.to))));
+            }
+        }
+    }
+    dist
+}
+
+/// Reference Dijkstra over the nested adjacency lists
+/// ([`Graph::neighbors`]), kept as the benchmark "before" kernel for the
+/// CSR inner loop above. Produces identical output.
+pub fn shortest_paths_scan(graph: &Graph, source: NodeIdx) -> Vec<SimDuration> {
     let n = graph.node_count();
     assert!(source.index() < n, "source {source} out of range");
     let mut dist = vec![SimDuration::MAX; n];
@@ -81,6 +114,15 @@ pub fn shortest_paths(graph: &Graph, source: NodeIdx) -> Vec<SimDuration> {
 #[derive(Debug)]
 pub struct SpCache {
     inner: RwLock<DetMap<NodeIdx, Arc<Vec<SimDuration>>>>,
+    /// Sources some thread is currently computing; misses on these wait on
+    /// `flight_done` instead of duplicating the Dijkstra (single-flight).
+    in_flight: Mutex<DetSet<NodeIdx>>,
+    flight_done: Condvar,
+    /// Sources pinned by [`SpCache::warm`]; they survive capacity flushes
+    /// so a full cache still answers landmark probes without recomputing.
+    pinned: RwLock<DetSet<NodeIdx>>,
+    /// Total Dijkstra runs this cache has performed (for tests/benches).
+    computations: AtomicU64,
     capacity: usize,
 }
 
@@ -107,21 +149,82 @@ impl SpCache {
         assert!(capacity > 0, "capacity must be at least 1");
         SpCache {
             inner: RwLock::new(DetMap::new()),
+            in_flight: Mutex::new(DetSet::new()),
+            flight_done: Condvar::new(),
+            pinned: RwLock::new(DetSet::new()),
+            computations: AtomicU64::new(0),
             capacity,
         }
     }
 
     /// Returns the distance vector from `source`, computing it on first use.
+    ///
+    /// Concurrent misses on the same source are single-flighted: one thread
+    /// runs the Dijkstra while the others wait for its insert, so a
+    /// parameter sweep hammering a shared cache performs each computation
+    /// exactly once.
     pub fn distances(&self, graph: &Graph, source: NodeIdx) -> Arc<Vec<SimDuration>> {
-        if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
-            return Arc::clone(hit);
+        loop {
+            if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                return Arc::clone(hit);
+            }
+            // Claim the computation, or wait for whoever holds the claim.
+            {
+                let mut fl = self.in_flight.lock().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                if fl.contains(&source) {
+                    while fl.contains(&source) {
+                        fl = self.flight_done.wait(fl).expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                    }
+                    // The owner inserted before releasing its claim;
+                    // re-read (the vector could only vanish to a flush
+                    // triggered by some other source, in which case we
+                    // claim it ourselves next time around).
+                    continue;
+                }
+                // A previous owner may have finished between our cache miss
+                // and taking this lock; don't recompute what just landed.
+                if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                    return Arc::clone(hit);
+                }
+                fl.insert(source);
+            }
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            let computed = Arc::new(shortest_paths(graph, source));
+            let result = {
+                let mut w = self.inner.write().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                if w.len() >= self.capacity {
+                    // Flush wholesale, but keep warm()-pinned vectors: the
+                    // landmark set must never pay a second Dijkstra.
+                    let pinned = self.pinned.read().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                    if pinned.is_empty() {
+                        w.clear();
+                    } else {
+                        w.retain(|k, _| pinned.contains(k));
+                    }
+                }
+                Arc::clone(w.entry(source).or_insert(computed))
+            };
+            self.in_flight
+                .lock()
+                .expect("sp cache poisoned") // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                .remove(&source);
+            self.flight_done.notify_all();
+            return result;
         }
-        let computed = Arc::new(shortest_paths(graph, source));
-        let mut w = self.inner.write().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
-        if w.len() >= self.capacity {
-            w.clear();
+    }
+
+    /// Computes and *pins* the distance vectors of `sources`: pinned
+    /// vectors survive capacity flushes until [`SpCache::clear`].
+    pub fn warm(&self, graph: &Graph, sources: &[NodeIdx]) {
+        for &s in sources {
+            self.pinned.write().expect("sp cache poisoned").insert(s); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+            let _ = self.distances(graph, s);
         }
-        Arc::clone(w.entry(source).or_insert(computed))
+    }
+
+    /// Total Dijkstra computations performed (cache misses) so far.
+    pub fn computations(&self) -> u64 {
+        self.computations.load(Ordering::Relaxed)
     }
 
     /// The latency from `a` to `b` (symmetric). Prefers whichever endpoint
@@ -150,9 +253,10 @@ impl SpCache {
         self.inner.read().expect("sp cache poisoned").is_empty() // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
     }
 
-    /// Drops all cached vectors.
+    /// Drops all cached vectors, pinned ones included.
     pub fn clear(&self) {
         self.inner.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+        self.pinned.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
     }
 }
 
@@ -235,6 +339,86 @@ mod tests {
         );
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn csr_and_scan_dijkstra_agree() {
+        let p = TransitStubParams::tsk_small_mini();
+        let t = generate_transit_stub(&p, LatencyAssignment::gt_itm(), 17);
+        for s in [0u32, 7, 111, 400] {
+            assert_eq!(
+                shortest_paths(t.graph(), NodeIdx(s)),
+                shortest_paths_scan(t.graph(), NodeIdx(s)),
+                "CSR and adjacency-list Dijkstra diverged from source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_misses_compute_each_source_once() {
+        // Regression: two threads missing the same source used to both run
+        // the Dijkstra, with the loser's insert discarded. The single-flight
+        // guard must hold the count at one computation per source.
+        let p = TransitStubParams::tsk_small_mini();
+        let t = generate_transit_stub(&p, LatencyAssignment::manual(), 11);
+        let cache = SpCache::new();
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    for s in [3u32, 9, 42, 3, 9, 42] {
+                        let d = cache.distances(t.graph(), NodeIdx(s));
+                        assert_eq!(d[s as usize], SimDuration::ZERO);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cache.computations(),
+            3,
+            "8 threads x 3 sources must cost exactly 3 Dijkstras"
+        );
+    }
+
+    #[test]
+    fn pinned_landmarks_survive_capacity_flushes() {
+        // Regression: the wholesale overflow flush used to evict warm()-
+        // pinned landmark vectors, so a full cache re-ran one Dijkstra per
+        // landmark probe. Pins must survive every flush.
+        let g = line_graph(&[1, 2, 3, 4, 5, 6, 7]);
+        let cache = SpCache::with_capacity(3);
+        let landmarks = [NodeIdx(0), NodeIdx(1)];
+        cache.warm(&g, &landmarks);
+        assert_eq!(cache.computations(), 2);
+        // Overflow the cache repeatedly with other sources.
+        for s in 2..8u32 {
+            cache.distances(&g, NodeIdx(s));
+        }
+        let after_churn = cache.computations();
+        // Landmark probes must all be cache hits: no new computations.
+        for s in 2..8u32 {
+            for &l in &landmarks {
+                assert_eq!(
+                    cache.distance(&g, l, NodeIdx(s)),
+                    cache.distance(&g, NodeIdx(s), l)
+                );
+            }
+            let _ = cache.distances(&g, l_probe(&landmarks, s));
+        }
+        assert_eq!(
+            cache.computations(),
+            after_churn,
+            "a full cache must answer landmark probes with zero extra Dijkstras"
+        );
+        // clear() drops the pins too.
+        cache.clear();
+        cache.distances(&g, NodeIdx(0));
+        assert_eq!(cache.computations(), after_churn + 1);
+    }
+
+    fn l_probe(landmarks: &[NodeIdx], s: u32) -> NodeIdx {
+        landmarks[(s as usize) % landmarks.len()]
     }
 
     #[test]

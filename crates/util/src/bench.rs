@@ -95,24 +95,7 @@ impl BenchResult {
 
     fn append_jsonl(&self) {
         let path = std::env::var("TAO_BENCH_OUT").unwrap_or_else(|_| {
-            // Cargo runs bench binaries with the *package* as cwd; walk up
-            // to the workspace root (nearest ancestor with a `results/`
-            // sibling of Cargo.toml, or just the topmost Cargo.toml) so all
-            // crates share one results/bench.jsonl.
-            let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
-            let mut root = dir.clone();
-            loop {
-                if dir.join("Cargo.toml").exists() {
-                    root = dir.clone();
-                    if dir.join("results").is_dir() {
-                        break;
-                    }
-                }
-                if !dir.pop() {
-                    break;
-                }
-            }
-            root.join("results/bench.jsonl").to_string_lossy().into_owned()
+            results_path("bench.jsonl").to_string_lossy().into_owned()
         });
         if path == "none" {
             return;
@@ -145,6 +128,29 @@ impl BenchResult {
     }
 }
 
+/// The workspace's `results/<file>` path, from wherever cargo put us.
+///
+/// Cargo runs bench binaries with the *package* as cwd; walk up to the
+/// workspace root (nearest ancestor with a `results/` sibling of
+/// Cargo.toml, or just the topmost Cargo.toml) so all crates share one
+/// results directory.
+pub fn results_path(file: &str) -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut root = dir.clone();
+    loop {
+        if dir.join("Cargo.toml").exists() {
+            root = dir.clone();
+            if dir.join("results").is_dir() {
+                break;
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    root.join("results").join(file)
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -159,10 +165,17 @@ fn fmt_ns(ns: f64) -> String {
 ///
 /// Under `cargo test` (no `--bench` argument) runs `f` once and reports
 /// nothing — the routine still smoke-tests.
-pub fn bench_fn<F: FnMut()>(name: &str, mut f: F) {
+pub fn bench_fn<F: FnMut()>(name: &str, f: F) {
+    let _ = bench_fn_captured(name, f);
+}
+
+/// Like [`bench_fn`], but hands the measured [`BenchResult`] back
+/// (`None` in smoke mode) so callers can post-process medians — e.g.
+/// compose a before/after comparison file.
+pub fn bench_fn_captured<F: FnMut()>(name: &str, mut f: F) -> Option<BenchResult> {
     if !is_bench_mode() {
         f();
-        return;
+        return None;
     }
     // Calibrate: grow the batch until it costs ~the target sample time.
     let target = target_sample_time();
@@ -188,7 +201,9 @@ pub fn bench_fn<F: FnMut()>(name: &str, mut f: F) {
         }
         per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
     }
-    BenchResult::from_samples(name, iters, &mut per_iter).report();
+    let result = BenchResult::from_samples(name, iters, &mut per_iter);
+    result.report();
+    Some(result)
 }
 
 /// Times `routine` on a fresh `setup()` value per call, excluding the

@@ -13,6 +13,7 @@
 //! | [`bench`] | `criterion` | `bench_fn` median-of-N timing, JSON lines to `results/` |
 //! | [`bytes`] | `bytes` | big-endian `ByteWriter`/`ByteReader` |
 //! | [`det`] | `std::collections::Hash{Map,Set}` | `DetMap`/`DetSet` with deterministic iteration order |
+//! | [`par`] | `rayon` | order-preserving `par_map` over scoped threads, `TAO_WORKERS` knob |
 //!
 //! Beyond hermeticity, in-tree pseudo-randomness is a *scientific*
 //! requirement: the paper's figures are seeded experiments, and `rand`
@@ -27,4 +28,5 @@ pub mod bench;
 pub mod bytes;
 pub mod check;
 pub mod det;
+pub mod par;
 pub mod rand;

@@ -85,4 +85,48 @@ echo "fault determinism: OK ($fp1)"
 cargo run -q --release --offline --example churn_and_pubsub > /dev/null
 echo "faults stage: OK"
 
+# ---- Perf smoke: bench suite one-shot + pinned baseline artifacts. ----------
+# Without `--bench` every routine runs exactly once (smoke mode): the
+# kernels are exercised but nothing is timed or written, so this stage is
+# immune to scheduler noise.
+cargo test -q --release --offline -p tao-bench --benches
+echo "bench smoke: OK (all bench routines ran once)"
+
+# The recorded benchmark trajectory must stay machine-readable: one JSON
+# object per line with the exact keys the harness emits.
+if [ -f results/bench.jsonl ]; then
+    if grep -vE '^\{"name":"[^"]+","median_ns":[0-9.]+,"min_ns":[0-9.]+,"max_ns":[0-9.]+,"iters_per_sample":[0-9]+,"samples":[0-9]+\}$' \
+        results/bench.jsonl; then
+        echo "FAIL: malformed line in results/bench.jsonl (see above)." >&2
+        exit 1
+    fi
+fi
+# The pinned PR-4 before/after baseline must parse and keep its shape.
+python3 - <<'EOF'
+import json, sys
+with open("results/BENCH_04.json") as f:
+    doc = json.load(f)
+comparisons = doc["comparisons"]
+assert comparisons, "BENCH_04.json has no comparisons"
+for c in comparisons:
+    for key in ("name", "before", "after", "before_median_ns", "after_median_ns", "speedup"):
+        assert key in c, f"comparison missing {key!r}: {c}"
+print(f"BENCH_04.json: OK ({len(comparisons)} before/after comparisons)")
+EOF
+echo "perf smoke: OK"
+
+# ---- Waiver audit: wall-clock reads stay confined and justified. ------------
+# tao-lint already fails unwaived Instant::now sites; this audit additionally
+# requires every waiver to carry a non-empty reason = "..." justification.
+# crates/lint is excluded: the lint tool and its fixtures name the token by
+# design and are covered by tao-lint's own fixture tests.
+bad=$(grep -rn 'Instant::now' --include='*.rs' --exclude-dir=lint crates \
+    | grep -vE 'tao-lint: allow\(no-wall-clock, reason = "[^"]+"\)' || true)
+if [ -n "$bad" ]; then
+    echo "FAIL: Instant::now without a justified no-wall-clock waiver:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "waiver audit: OK (every Instant::now carries a justified pragma)"
+
 echo "CI: all green (offline)"

@@ -1,15 +1,32 @@
 #!/usr/bin/env bash
 # Regenerates every figure/table of the paper into results/.
 # Usage: scripts/run_experiments.sh [paper|mini]
+#
+# TAO_WORKERS controls how many threads the parallel sweeps use
+# (default: all cores). Every table is byte-identical for any value —
+# per-task seeds derive from the master seed and task index, never from
+# scheduling order — so parallelism only changes wall-clock time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export TAO_SCALE="${1:-paper}"
+export TAO_WORKERS="${TAO_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
 cargo build --release -p tao-bench
 mkdir -p results
+{
+  echo "# Wall-clock per experiment binary, TAO_SCALE=$TAO_SCALE TAO_WORKERS=$TAO_WORKERS."
+  echo "# Pre-PR4 sequential baseline (TAO_SCALE=paper, fig02 capped at 8,192 nodes):"
+  echo "#   fig02 13s  fig03_06 3s  fig10_13 79s  fig14_15 179s  fig16 10s  sec1 0s"
+  echo "#   sec52 6s  sec54 8s  sec6 2s  ablation_sfc 5s  ablation_lvi 7s  -- ~312s total"
+} > results/timings.txt
+total_start=$SECONDS
 for b in fig02_ecan_vs_can fig03_06_nearest_neighbor fig10_13_stretch_vs_rtts \
          fig14_15_stretch_vs_nodes fig16_condense_rate sec1_tacan_imbalance \
          sec52_pubsub_maintenance sec54_gap_breakdown sec6_load_aware \
          ablation_sfc ablation_lvi generality related_coordinates join_cost sec54_optimizations; do
-  echo ">>> $b (TAO_SCALE=$TAO_SCALE)"
-  ./target/release/"$b" | tee "results/$b.txt"
+  echo ">>> $b (TAO_SCALE=$TAO_SCALE TAO_WORKERS=$TAO_WORKERS)"
+  start=$SECONDS
+  ./target/release/"$b" 2> "results/$b.err" | tee "results/$b.txt"
+  echo "$b: $((SECONDS - start))s" >> results/timings.txt
 done
+echo "TOTAL: $((SECONDS - total_start))s" >> results/timings.txt
+echo "ALL_DONE" >> results/timings.txt
