@@ -13,7 +13,7 @@
 use std::error::Error;
 use std::fmt;
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 use crate::hilbert::{CurveError, HilbertCurve};
 use crate::number::{LandmarkNumber, SpaceFillingCurve};
@@ -64,7 +64,7 @@ impl From<CurveError> for GridError {
 ///
 /// ```
 /// use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 ///
 /// let grid = LandmarkGrid::new(2, 3, SimDuration::from_millis(80)).unwrap();
 /// let v = LandmarkVector::from_millis(&[10.0, 75.0]);

@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
-//! use tao_sim::SimDuration;
+//! use tao_util::time::SimDuration;
 //!
 //! // Two nodes with similar RTTs to three landmarks get nearby numbers.
 //! let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 use tao_topology::{NodeIdx, RttOracle};
 
 /// A node's coordinates in the landmark space: its measured RTT to each

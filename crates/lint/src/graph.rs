@@ -1,0 +1,476 @@
+//! An approximate cross-crate call graph over the recovered items.
+//!
+//! Nodes are non-test functions in library files; edges are name-based
+//! call references recovered from the token stream: `free_fn(…)`,
+//! `Type::method(…)`, and `.method(…)`. Resolution is deliberately
+//! *over*-approximate — an unqualified method call links to every
+//! workspace method of that name — because the consumer is the
+//! panic-reachability rule, where a false edge at worst asks for a
+//! justification and a missed edge hides a panic path. Two filters keep
+//! the over-approximation from degenerating into noise:
+//!
+//! - `.method(…)` calls whose name shadows a std-prelude method
+//!   ([`STD_METHODS`]: `len`, `map`, `contains`, …) get no edges — on
+//!   real code such calls overwhelmingly target std/`tao_util` types,
+//!   and linking them to every same-name workspace method would make
+//!   nearly every function "reach" every panic. Workspace methods with
+//!   those names are still analyzed directly and via `Type::method(…)`
+//!   qualified calls.
+//! - Edges must respect the crate-layering DAG ([`crate::rules::LAYERS`]):
+//!   a `tao-softstate` function cannot actually be calling into
+//!   `tao-lint`, so no edge is created.
+//!
+//! Panic sites are `.unwrap(` / `.expect(`, the panicking macros
+//! (`panic!`, `unreachable!`, `todo!`, `unimplemented!`), and
+//! indexing-panic sites (`expr[…]` where the `[` follows an identifier,
+//! `)`, `]`, or `?`).
+
+use crate::items::{Item, ItemKind, Visibility};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::LAYERS;
+
+/// Method names that shadow ubiquitous std-prelude methods: unqualified
+/// `.name(…)` calls with these names are not linked to workspace methods
+/// (see the module docs for why).
+pub const STD_METHODS: [&str; 71] = [
+    "first", "last", "keys", "values", "copied", "cloned", "drain",
+    "map", "and_then", "or_else", "unwrap_or", "unwrap_or_else", "unwrap_or_default", "ok",
+    "ok_or", "ok_or_else", "err", "filter", "filter_map", "flat_map", "fold", "for_each",
+    "collect", "iter", "iter_mut", "into_iter", "next", "len", "is_empty", "contains",
+    "contains_key", "insert", "remove", "get", "get_mut", "push", "pop", "clear", "extend",
+    "sort", "sort_by", "sort_by_key", "sort_unstable", "sort_unstable_by", "min", "max",
+    "min_by", "max_by", "min_by_key", "max_by_key", "sum", "count", "clone", "to_string",
+    "to_owned", "as_ref", "as_mut", "as_str", "as_slice", "take", "replace", "position",
+    "find", "any", "all", "zip", "rev", "skip", "chain", "enumerate", "retain",
+];
+
+/// Whether the layering DAG permits a call from `caller` into `callee`.
+/// Unknown crates (synthetic fixtures) are unconstrained.
+fn layering_allows(caller: &str, callee: &str) -> bool {
+    if caller == callee {
+        return true;
+    }
+    match LAYERS.iter().find(|(name, _)| *name == caller) {
+        Some((_, allowed)) => allowed.contains(&callee),
+        None => true,
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallRef {
+    /// `name(…)` — a free call.
+    Free(String),
+    /// `Qual::name(…)` — a qualified call; `0` is the last qualifier
+    /// segment (`StdRng::seed_from_u64` → `("StdRng", "seed_from_u64")`).
+    Qualified(String, String),
+    /// `.name(…)` — a method call on an unknown receiver.
+    Method(String),
+}
+
+/// What kind of panic a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap(`.
+    Unwrap,
+    /// `.expect(`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `expr[…]` indexing, which panics out of bounds.
+    Index,
+}
+
+impl PanicKind {
+    /// Human-readable site description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()`",
+            PanicKind::Expect => "`.expect(…)`",
+            PanicKind::Macro => "a panicking macro",
+            PanicKind::Index => "`[…]` indexing",
+        }
+    }
+}
+
+/// A potential panic inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// The site's kind.
+    pub kind: PanicKind,
+    /// 1-based line within the containing file.
+    pub line: u32,
+}
+
+/// One function node in the workspace call graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Crate the function lives in (`tao-overlay`).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// `::`-qualified name within the file (`CanOverlay::join`).
+    pub qual: String,
+    /// Simple name (`join`).
+    pub name: String,
+    /// Enclosing impl/trait type, if the function is a method.
+    pub type_name: Option<String>,
+    /// Declared visibility.
+    pub vis: Visibility,
+    /// 1-based line of the item.
+    pub line: u32,
+    /// Direct panic sites in the body.
+    pub sites: Vec<PanicSite>,
+    /// Call references out of the body.
+    pub calls: Vec<CallRef>,
+}
+
+/// The workspace call graph plus panic-reachability results.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All function nodes, in deterministic (file, line) order.
+    pub nodes: Vec<FnNode>,
+    edges: Vec<Vec<usize>>,
+    /// For each node: the nearest panic site it can reach, as
+    /// `(hops, node index owning the site, site index)`; `None` if the
+    /// node cannot reach a panic site.
+    reach: Vec<Option<(u32, usize, usize)>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from per-file parsed items. Each entry is
+    /// `(crate, path, code_tokens, items)`; only non-test `fn` items are
+    /// added as nodes.
+    pub fn build(files: &[(String, String, Vec<&Token>, Vec<Item>)]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (krate, path, code, items) in files {
+            for item in items {
+                collect_fns(krate, path, code, item, None, &mut g.nodes);
+            }
+        }
+        g.nodes.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        g.resolve();
+        g.propagate();
+        g
+    }
+
+    /// Resolves every node's call refs into edge lists.
+    fn resolve(&mut self) {
+        use std::collections::BTreeMap;
+        // name → node indices, split by whether the fn is a method.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut frees: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            match &n.type_name {
+                Some(t) => {
+                    methods.entry(&n.name).or_default().push(i);
+                    typed.entry((t.as_str(), n.name.as_str())).or_default().push(i);
+                }
+                None => frees.entry(&n.name).or_default().push(i),
+            }
+        }
+        self.edges = vec![Vec::new(); self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            let mut out: Vec<usize> = Vec::new();
+            for call in &self.nodes[i].calls {
+                match call {
+                    CallRef::Free(name) => {
+                        if let Some(ids) = frees.get(name.as_str()) {
+                            // Prefer same-file free fns, then same-crate,
+                            // then anything sharing the name.
+                            let same_file: Vec<usize> = ids
+                                .iter()
+                                .copied()
+                                .filter(|&j| self.nodes[j].path == self.nodes[i].path)
+                                .collect();
+                            let same_crate: Vec<usize> = ids
+                                .iter()
+                                .copied()
+                                .filter(|&j| self.nodes[j].krate == self.nodes[i].krate)
+                                .collect();
+                            let chosen = if !same_file.is_empty() {
+                                same_file
+                            } else if !same_crate.is_empty() {
+                                same_crate
+                            } else {
+                                ids.clone()
+                            };
+                            out.extend(chosen);
+                        }
+                    }
+                    CallRef::Qualified(q, name) => {
+                        if let Some(ids) = typed.get(&(q.as_str(), name.as_str())) {
+                            out.extend(ids.iter().copied());
+                        }
+                        // A lowercase qualifier may be a module path
+                        // (`zone::split`): link matching free fns too.
+                        if q.chars().next().is_some_and(|c| c.is_lowercase()) {
+                            if let Some(ids) = frees.get(name.as_str()) {
+                                out.extend(ids.iter().copied());
+                            }
+                        }
+                    }
+                    CallRef::Method(name) => {
+                        if !STD_METHODS.contains(&name.as_str()) {
+                            if let Some(ids) = methods.get(name.as_str()) {
+                                out.extend(ids.iter().copied());
+                            }
+                        }
+                    }
+                }
+            }
+            out.retain(|&j| layering_allows(&self.nodes[i].krate, &self.nodes[j].krate));
+            out.sort_unstable();
+            out.dedup();
+            self.edges[i] = out;
+        }
+    }
+
+    /// Computes, for every node, the nearest reachable panic site by BFS
+    /// from the panic-carrying nodes over reversed edges.
+    fn propagate(&mut self) {
+        let n = self.nodes.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &j in outs {
+                rev[j].push(i);
+            }
+        }
+        self.reach = vec![None; n];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        // Seed: nodes with a direct site (hops 0, their own first site).
+        for i in 0..n {
+            if !self.nodes[i].sites.is_empty() {
+                self.reach[i] = Some((0, i, 0));
+                queue.push_back(i);
+            }
+        }
+        while let Some(j) = queue.pop_front() {
+            let (hops, owner, site) = self.reach[j].expect("queued nodes are marked"); // tao-lint: allow(no-unwrap-in-lib, reason = "queued nodes are marked before push")
+            for &i in &rev[j] {
+                if self.reach[i].is_none() {
+                    self.reach[i] = Some((hops + 1, owner, site));
+                    queue.push_back(i);
+                }
+            }
+        }
+    }
+
+    /// The nearest panic site reachable from node `i`, if any, with a
+    /// deterministic witness call chain of `qual` names.
+    pub fn reachable_panic(&self, i: usize) -> Option<(Vec<String>, &FnNode, &PanicSite)> {
+        let (_, owner, _site) = self.reach[i]?;
+        // Rebuild the witness chain by walking forward edges, always
+        // stepping to a neighbor strictly closer to a panic site.
+        let mut chain = vec![self.nodes[i].qual.clone()];
+        let mut cur = i;
+        let mut guard = 0;
+        while cur != owner && self.nodes[cur].sites.is_empty() && guard < 64 {
+            let cur_d = self.reach[cur].map(|(d, _, _)| d).unwrap_or(u32::MAX);
+            let next = self.edges[cur]
+                .iter()
+                .copied()
+                .filter(|&j| self.reach[j].is_some_and(|(d, _, _)| d < cur_d))
+                .min_by_key(|&j| (self.reach[j].map(|(d, _, _)| d), j));
+            match next {
+                Some(j) => {
+                    chain.push(self.nodes[j].qual.clone());
+                    cur = j;
+                }
+                None => break,
+            }
+            guard += 1;
+        }
+        let owner_node = &self.nodes[cur];
+        let site = owner_node.sites.first()?;
+        Some((chain, owner_node, site))
+    }
+}
+
+/// Recursively collects `fn` items into graph nodes, scanning bodies for
+/// calls and panic sites.
+fn collect_fns(
+    krate: &str,
+    path: &str,
+    code: &[&Token],
+    item: &Item,
+    enclosing_type: Option<&str>,
+    out: &mut Vec<FnNode>,
+) {
+    if item.is_test {
+        return;
+    }
+    match item.kind {
+        ItemKind::Fn => {
+            let (sites, calls) = match item.body {
+                Some((lo, hi)) => scan_body(&code[lo.min(code.len())..hi.min(code.len())]),
+                None => (Vec::new(), Vec::new()),
+            };
+            out.push(FnNode {
+                krate: krate.to_string(),
+                path: path.to_string(),
+                qual: item.qual.clone(),
+                name: item.name.clone(),
+                type_name: enclosing_type.map(str::to_string),
+                vis: item.vis,
+                line: item.line,
+                sites,
+                calls,
+            });
+        }
+        ItemKind::Impl | ItemKind::Trait => {
+            for c in &item.children {
+                collect_fns(krate, path, code, c, Some(&item.name), out);
+            }
+        }
+        ItemKind::Mod => {
+            for c in &item.children {
+                collect_fns(krate, path, code, c, None, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const NOT_CALLS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "move", "else",
+];
+
+/// Scans a function body's code tokens for panic sites and call refs.
+fn scan_body(body: &[&Token]) -> (Vec<PanicSite>, Vec<CallRef>) {
+    let mut sites = Vec::new();
+    let mut calls = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        let next = |k: usize| body.get(i + k).map(|t| t.text.as_str()).unwrap_or("");
+        let prev = if i > 0 { Some(body[i - 1]) } else { None };
+        match t.kind {
+            TokenKind::Ident => {
+                let name = t.text.as_str();
+                if next(1) == "!" && PANIC_MACROS.contains(&name) {
+                    sites.push(PanicSite { kind: PanicKind::Macro, line: t.line });
+                    continue;
+                }
+                if next(1) != "(" || NOT_CALLS.contains(&name) {
+                    continue;
+                }
+                // `.name(` — method call; `Qual::name(` — qualified call;
+                // bare `name(` — free call.
+                let prev_text = prev.map(|p| p.text.as_str());
+                match prev_text {
+                    Some(".") => match name {
+                        "unwrap" => sites.push(PanicSite { kind: PanicKind::Unwrap, line: t.line }),
+                        "expect" => sites.push(PanicSite { kind: PanicKind::Expect, line: t.line }),
+                        _ => calls.push(CallRef::Method(name.to_string())),
+                    },
+                    Some("::") => {
+                        let qual = body
+                            .get(i.wrapping_sub(2))
+                            .filter(|q| q.kind == TokenKind::Ident)
+                            .map(|q| q.text.clone())
+                            .unwrap_or_default();
+                        calls.push(CallRef::Qualified(qual, name.to_string()));
+                    }
+                    _ => calls.push(CallRef::Free(name.to_string())),
+                }
+            }
+            TokenKind::Punct if t.text == "[" => {
+                // Indexing: `[` following an ident, `)`, `]`, or `?` is an
+                // index expression (an out-of-bounds panic site). `#[`
+                // attributes and array literals never match.
+                if prev.is_some_and(|p| {
+                    p.kind == TokenKind::Ident
+                        || (p.kind == TokenKind::Punct
+                            && matches!(p.text.as_str(), ")" | "]" | "?"))
+                }) {
+                    sites.push(PanicSite { kind: PanicKind::Index, line: t.line });
+                }
+            }
+            _ => {}
+        }
+    }
+    (sites, calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{code_tokens, parse_items};
+    use crate::lexer::lex;
+
+    fn graph(files: &[(&str, &str, &str)]) -> CallGraph {
+        let mut owned: Vec<(String, String, Vec<Token>)> = Vec::new();
+        for (krate, path, src) in files {
+            owned.push((krate.to_string(), path.to_string(), lex(src)));
+        }
+        let built: Vec<(String, String, Vec<&Token>, Vec<Item>)> = owned
+            .iter()
+            .map(|(krate, path, tokens)| {
+                let code = code_tokens(tokens);
+                let items = parse_items(&code);
+                (krate.clone(), path.clone(), code, items)
+            })
+            .collect();
+        CallGraph::build(&built)
+    }
+
+    fn node<'g>(g: &'g CallGraph, qual: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.qual == qual)
+            .unwrap_or_else(|| panic!("no node {qual}"))
+    }
+
+    #[test]
+    fn direct_and_transitive_panic_reachability() {
+        let g = graph(&[(
+            "tao-overlay",
+            "crates/overlay/src/a.rs",
+            "pub fn entry() { helper(); }\n\
+             fn helper() { leaf(); }\n\
+             fn leaf(x: Option<u32>) { x.unwrap(); }\n\
+             pub fn safe() { pure(); }\n\
+             fn pure() -> u32 { 1 + 1 }\n",
+        )]);
+        let entry = node(&g, "entry");
+        let (chain, owner, site) = g.reachable_panic(entry).expect("entry reaches a panic");
+        assert_eq!(chain, vec!["entry", "helper", "leaf"]);
+        assert_eq!(owner.qual, "leaf");
+        assert_eq!(site.kind, PanicKind::Unwrap);
+        assert!(g.reachable_panic(node(&g, "safe")).is_none());
+    }
+
+    #[test]
+    fn method_calls_link_across_crates() {
+        let g = graph(&[
+            (
+                "tao-softstate",
+                "crates/softstate/src/m.rs",
+                "pub struct Map;\nimpl Map {\n    pub fn probe(&self, i: usize) -> u32 { self.slots[i] }\n}\n",
+            ),
+            (
+                "tao-core",
+                "crates/core/src/s.rs",
+                "pub fn lookup(m: &Map) -> u32 { m.probe(3) }\n",
+            ),
+        ]);
+        let (chain, _, site) = g
+            .reachable_panic(node(&g, "lookup"))
+            .expect("lookup reaches Map::probe's indexing");
+        assert_eq!(chain, vec!["lookup", "Map::probe"]);
+        assert_eq!(site.kind, PanicKind::Index);
+    }
+
+    #[test]
+    fn panic_macros_and_test_fns() {
+        let g = graph(&[(
+            "tao-sim",
+            "crates/sim/src/e.rs",
+            "pub fn step() { unreachable!() }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { panic!() }\n}\n",
+        )]);
+        assert!(g.reachable_panic(node(&g, "step")).is_some());
+        assert!(!g.nodes.iter().any(|n| n.qual.contains("tests")));
+    }
+}

@@ -43,6 +43,10 @@ pub struct Token {
     pub line: u32,
     /// 1-based column (in chars) of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character in the source.
+    pub lo: usize,
+    /// Byte offset one past the token's last character.
+    pub hi: usize,
 }
 
 /// Lexes `source` into a token stream, comments included.
@@ -59,6 +63,8 @@ struct Lexer<'a> {
     pos: usize,
     line: u32,
     col: u32,
+    offset: usize,
+    token_lo: usize,
     tokens: Vec<Token>,
     source: &'a str,
 }
@@ -70,6 +76,8 @@ impl<'a> Lexer<'a> {
             pos: 0,
             line: 1,
             col: 1,
+            offset: 0,
+            token_lo: 0,
             tokens: Vec::new(),
             source,
         }
@@ -82,6 +90,7 @@ impl<'a> Lexer<'a> {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied()?;
         self.pos += 1;
+        self.offset += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -93,8 +102,16 @@ impl<'a> Lexer<'a> {
 
     fn run(mut self) -> Vec<Token> {
         let _ = self.source;
+        // A shebang line (`#!/usr/bin/env …`, but not the inner attribute
+        // `#![…]`) is swallowed as a comment token.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            let (line, col) = (self.line, self.col);
+            self.token_lo = self.offset;
+            self.line_comment(line, col);
+        }
         while let Some(c) = self.peek(0) {
             let (line, col) = (self.line, self.col);
+            self.token_lo = self.offset;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -126,6 +143,8 @@ impl<'a> Lexer<'a> {
             text,
             line,
             col,
+            lo: self.token_lo,
+            hi: self.offset,
         });
     }
 

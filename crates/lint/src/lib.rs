@@ -10,12 +10,24 @@
 //! char literals, doc comments, or `#[cfg(test)]` regions — and enforces
 //! the project invariants as named rules ([`rules`]).
 //!
+//! Since v2 the pass is *structural*, not just lexical: [`items`]
+//! recovers the item/module tree of every file from the token stream,
+//! [`graph`] links the items into an approximate cross-crate call graph,
+//! and four graph-level rules ride on top — panic-reachability,
+//! crate-layering, seed-discipline, and unused-waiver. Findings
+//! serialize to a stable JSON report ([`report`]) that CI diffs against
+//! the committed `lint-baseline.json`; the baseline may only shrink.
+//!
 //! Run it over the whole workspace with:
 //!
 //! ```text
-//! cargo run --release --offline -p tao-lint -- --workspace
+//! cargo run --release --offline -p tao-lint -- --workspace \
+//!     --json results/lint.json --baseline lint-baseline.json
 //! ```
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod report;
 pub mod rules;
 pub mod walk;

@@ -1,11 +1,19 @@
-//! The lint rules, pragma handling, and per-file driver.
+//! The lint rules, pragma handling, and the per-file / per-workspace
+//! drivers.
 //!
-//! Every rule works on the token stream of [`crate::lexer`], so string
-//! literals, char literals, and comments can never trigger a finding.
-//! Code under `#[cfg(test)]` (and whole integration-test files) is
-//! exempt from the determinism rules — tests may use whatever
+//! The five *token* rules work on the token stream of [`crate::lexer`],
+//! so string literals, char literals, and comments can never trigger a
+//! finding. Code under `#[cfg(test)]` (and whole integration-test files)
+//! is exempt from the determinism rules — tests may use whatever
 //! collections they like — while the hermeticity rule
 //! (`no-registry-import`) applies everywhere.
+//!
+//! The four *structural* rules ([`Rule::PanicReachability`],
+//! [`Rule::CrateLayering`], [`Rule::SeedDiscipline`],
+//! [`Rule::UnusedWaiver`]) work on the item graph of [`crate::items`] and
+//! the approximate call graph of [`crate::graph`]; they need the whole
+//! workspace as context and therefore only run through
+//! [`lint_workspace`], not the single-file [`lint_source`].
 //!
 //! A finding can be waived in place with a pragma comment that names the
 //! rule and *must* give a justification:
@@ -16,8 +24,12 @@
 //!
 //! A pragma on its own line waives the line below it; a trailing pragma
 //! waives its own line. A pragma without a non-empty `reason` string is
-//! itself a finding (`bad-pragma`) and waives nothing.
+//! itself a finding (`bad-pragma`) and waives nothing. A valid pragma
+//! whose rule has no potential site in its scope is *also* a finding
+//! (`unused-waiver`): stale waivers are removed, not accumulated.
 
+use crate::graph::CallGraph;
+use crate::items::{code_tokens, parse_items, Item, ItemKind, Visibility};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// The rules `tao-lint` enforces. See `DESIGN.md` §8 for the rationale
@@ -39,10 +51,37 @@ pub enum Rule {
     NoRegistryImport,
     /// A malformed waiver pragma (unknown rule or missing reason).
     BadPragma,
+    /// A panic site (`unwrap`/`expect`/panicking macro/indexing)
+    /// transitively reachable from a `pub` non-test function in the
+    /// simulation-facing crates must be acknowledged with a pragma at the
+    /// public entry point, not just at the leaf.
+    PanicReachability,
+    /// A `use`/path edge between crates that violates the layering DAG
+    /// (see [`LAYERS`]).
+    CrateLayering,
+    /// Every RNG construction must flow from a literal or derived seed:
+    /// no wall-clock, entropy, pointer, or hasher sources.
+    SeedDiscipline,
+    /// A valid waiver pragma whose rule has no potential site in its
+    /// scope: the code it excused no longer exists.
+    UnusedWaiver,
 }
 
 /// Every enforced rule, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::DetCollections,
+    Rule::NoWallClock,
+    Rule::NoUnwrapInLib,
+    Rule::NoRegistryImport,
+    Rule::BadPragma,
+    Rule::PanicReachability,
+    Rule::CrateLayering,
+    Rule::SeedDiscipline,
+    Rule::UnusedWaiver,
+];
+
+/// The token-level rules enforced by the single-file [`lint_source`].
+pub const TOKEN_RULES: [Rule; 5] = [
     Rule::DetCollections,
     Rule::NoWallClock,
     Rule::NoUnwrapInLib,
@@ -62,6 +101,81 @@ pub const BANNED_CRATES: [&str; 7] = [
     "serde",
 ];
 
+/// The crate-layering DAG: each crate with the set of workspace crates it
+/// may depend on (directly or through re-exports). Self-references are
+/// always allowed. The layer picture (DESIGN.md §8):
+///
+/// ```text
+/// util → {topology, landmark} → {proximity, softstate, overlay} → {core, sim} → bench
+/// ```
+///
+/// with the two intra-layer edges `landmark → topology` and
+/// `{proximity, softstate} → overlay`. `tao-sim` sits beside `tao-core`:
+/// nothing below the engine may depend on it — latencies and TTLs travel
+/// as `tao_util::time` newtypes instead.
+pub const LAYERS: &[(&str, &[&str])] = &[
+    ("tao-util", &[]),
+    ("tao-sim", &["tao-util"]),
+    ("tao-topology", &["tao-util"]),
+    ("tao-landmark", &["tao-util", "tao-topology"]),
+    ("tao-overlay", &["tao-util", "tao-topology", "tao-landmark"]),
+    ("tao-proximity", &["tao-util", "tao-topology", "tao-landmark", "tao-overlay"]),
+    ("tao-softstate", &["tao-util", "tao-topology", "tao-landmark", "tao-overlay"]),
+    (
+        "tao-core",
+        &["tao-util", "tao-sim", "tao-topology", "tao-landmark", "tao-overlay", "tao-proximity", "tao-softstate"],
+    ),
+    (
+        "tao-bench",
+        &["tao-util", "tao-sim", "tao-topology", "tao-landmark", "tao-overlay", "tao-proximity", "tao-softstate", "tao-core"],
+    ),
+    ("tao-lint", &["tao-util"]),
+];
+
+/// Crates whose `pub` functions are panic-reachability entry points.
+pub const PANIC_ENTRY_CRATES: [&str; 4] = ["tao-overlay", "tao-softstate", "tao-sim", "tao-core"];
+
+/// Method/function names a seed expression may call; anything else inside
+/// a `seed_from_u64(…)` argument is a `seed-discipline` finding. Names
+/// containing `seed` are always allowed (seed-derivation helpers).
+const SEED_ALLOWED_CALLS: [&str; 18] = [
+    "from",
+    "into",
+    "min",
+    "max",
+    "pow",
+    "abs",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "wrapping_pow",
+    "saturating_add",
+    "saturating_mul",
+    "rotate_left",
+    "rotate_right",
+    "swap_bytes",
+    "count_ones",
+    "to_le",
+    "to_be",
+];
+
+/// Identifiers that mark a seed expression as flowing from a
+/// non-constant, non-parameter source.
+const SEED_DENIED_IDENTS: [&str; 12] = [
+    "now",
+    "elapsed",
+    "entropy",
+    "thread_rng",
+    "random",
+    "as_ptr",
+    "as_mut_ptr",
+    "hash",
+    "finish",
+    "timestamp",
+    "Instant",
+    "SystemTime",
+];
+
 impl Rule {
     /// The rule's name as used in pragmas and reports.
     pub fn name(self) -> &'static str {
@@ -71,12 +185,23 @@ impl Rule {
             Rule::NoUnwrapInLib => "no-unwrap-in-lib",
             Rule::NoRegistryImport => "no-registry-import",
             Rule::BadPragma => "bad-pragma",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::CrateLayering => "crate-layering",
+            Rule::SeedDiscipline => "seed-discipline",
+            Rule::UnusedWaiver => "unused-waiver",
         }
     }
 
     /// Parses a rule name from a pragma.
     pub fn from_name(name: &str) -> Option<Rule> {
         ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether a pragma can waive this rule. `bad-pragma` and
+    /// `unused-waiver` are meta-rules about the pragmas themselves and
+    /// cannot be waived away.
+    pub fn waivable(self) -> bool {
+        !matches!(self, Rule::BadPragma | Rule::UnusedWaiver)
     }
 }
 
@@ -91,7 +216,7 @@ pub enum FileKind {
     Bin,
     /// An integration test or bench harness: only compiled into test
     /// runners, so the determinism rules are off; `no-registry-import`
-    /// still applies.
+    /// and `crate-layering` still apply.
     TestHarness,
 }
 
@@ -106,6 +231,9 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Stable baseline key: line-number-free for structural rules so the
+    /// committed baseline does not churn when unrelated edits shift code.
+    pub key: String,
     /// Human-readable description of the violation.
     pub message: String,
 }
@@ -133,31 +261,215 @@ pub struct FileReport {
     pub waived: Vec<(Rule, u32)>,
 }
 
+/// One source file handed to [`lint_workspace`].
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (used in reports and keys).
+    pub path: String,
+    /// Package name of the owning crate (`tao-overlay`).
+    pub krate: String,
+    /// How the file participates in linting.
+    pub kind: FileKind,
+    /// The file's source text.
+    pub source: String,
+}
+
+/// The outcome of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Violations that were not waived, sorted by (path, line, col).
+    pub findings: Vec<Finding>,
+    /// `(rule, path, line)` of findings waived by a valid pragma.
+    pub waived: Vec<(Rule, String, u32)>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
 /// A parsed waiver pragma.
 #[derive(Debug)]
 struct Pragma {
     rule: Rule,
     /// The line whose findings this pragma waives.
     effective_line: u32,
+    /// 1-based position of the pragma comment itself.
+    line: u32,
+    col: u32,
 }
 
-/// Lints one file's source text. `path` is used only for reporting.
+fn token_key(rule: Rule, path: &str, line: u32) -> String {
+    format!("{}:{}:{}", rule.name(), path, line)
+}
+
+/// Lints one file's source text against the token rules. `path` is used
+/// only for reporting. Structural rules need workspace context and run
+/// through [`lint_workspace`].
 pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
     let tokens = lex(source);
-    let code: Vec<&Token> = tokens
-        .iter()
-        .filter(|t| t.kind != TokenKind::Comment)
-        .collect();
+    let code = code_tokens(&tokens);
     let test_ranges = test_line_ranges(&code);
-    let in_test = |line: u32| -> bool {
-        kind == FileKind::TestHarness
-            || test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
-    };
+    let (pragmas, bad) = collect_pragmas(path, &tokens, &code);
+    let raw = token_rule_findings(path, &code, kind, &test_ranges, false);
 
     let mut report = FileReport::default();
-    let (pragmas, mut bad) = collect_pragmas(path, &tokens, &code);
-    let mut raw: Vec<Finding> = Vec::new();
+    for f in raw {
+        let waiver = pragmas
+            .iter()
+            .find(|p| p.rule == f.rule && p.effective_line == f.line);
+        match waiver {
+            Some(p) => report.waived.push((p.rule, f.line)),
+            None => report.findings.push(f),
+        }
+    }
+    report.findings.extend(bad);
+    report
+        .findings
+        .sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
+    report
+}
 
+/// Lints a set of files as one workspace: token rules per file, then the
+/// structural rules over the item graph, then waiver application and the
+/// stale-pragma sweep.
+pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
+    // Lex and parse every file once.
+    struct Parsed<'a> {
+        file: &'a SourceFile,
+        tokens: Vec<Token>,
+    }
+    let parsed: Vec<Parsed> = files
+        .iter()
+        .map(|file| Parsed { file, tokens: lex(&file.source) })
+        .collect();
+
+    struct Analyzed<'a> {
+        file: &'a SourceFile,
+        code: Vec<&'a Token>,
+        test_ranges: Vec<(u32, u32)>,
+        items: Vec<Item>,
+        pragmas: Vec<Pragma>,
+        bad: Vec<Finding>,
+    }
+    let analyzed: Vec<Analyzed> = parsed
+        .iter()
+        .map(|p| {
+            let code = code_tokens(&p.tokens);
+            let test_ranges = test_line_ranges(&code);
+            let items = parse_items(&code);
+            let (pragmas, bad) = collect_pragmas(&p.file.path, &p.tokens, &code);
+            Analyzed { file: p.file, code, test_ranges, items, pragmas, bad }
+        })
+        .collect();
+
+    // Raw (pre-waiver) findings: token rules + per-file structural rules.
+    let mut raw: Vec<Finding> = Vec::new();
+    for a in &analyzed {
+        raw.extend(token_rule_findings(&a.file.path, &a.code, a.file.kind, &a.test_ranges, false));
+        raw.extend(layering_findings(a.file, &a.code));
+        raw.extend(seed_findings(a.file, &a.code, &a.test_ranges, &a.items));
+    }
+
+    // The call graph sees library code only: binaries and test harnesses
+    // can neither be called from a `pub` item nor be one.
+    let graph_input: Vec<(String, String, Vec<&Token>, Vec<Item>)> = analyzed
+        .iter()
+        .filter(|a| a.file.kind == FileKind::Lib)
+        .map(|a| {
+            (
+                a.file.krate.clone(),
+                a.file.path.clone(),
+                a.code.clone(),
+                a.items.clone(),
+            )
+        })
+        .collect();
+    let graph = CallGraph::build(&graph_input);
+    raw.extend(panic_reachability_findings(&graph));
+
+    // Waiver application.
+    let mut report = WorkspaceReport { files: files.len(), ..Default::default() };
+    let mut used_pragmas: Vec<(usize, usize)> = Vec::new(); // (file idx, pragma idx)
+    for f in raw {
+        let file_idx = analyzed.iter().position(|a| a.file.path == f.path);
+        let waiver = file_idx.and_then(|fi| {
+            analyzed[fi]
+                .pragmas
+                .iter()
+                .position(|p| p.rule == f.rule && f.rule.waivable() && p.effective_line == f.line)
+                .map(|pi| (fi, pi))
+        });
+        match waiver {
+            Some((fi, pi)) => {
+                used_pragmas.push((fi, pi));
+                report.waived.push((f.rule, f.path.clone(), f.line));
+            }
+            None => report.findings.push(f),
+        }
+    }
+
+    // Stale-pragma sweep: a valid pragma counts as *used* if a potential
+    // site for its rule exists on its effective line, even one exempted
+    // by file kind or a test region (belt-and-suspenders pragmas are
+    // fine); otherwise the code it excused is gone and it must go too.
+    for (fi, a) in analyzed.iter().enumerate() {
+        let relaxed = token_rule_findings(&a.file.path, &a.code, a.file.kind, &a.test_ranges, true);
+        for (pi, p) in a.pragmas.iter().enumerate() {
+            if used_pragmas.contains(&(fi, pi)) {
+                continue;
+            }
+            let has_site = match p.rule {
+                Rule::PanicReachability => {
+                    // Sites for entry pragmas were consumed above when the
+                    // entry fires; an unconsumed one guards nothing now,
+                    // but keep it if the line still holds a pub fn that
+                    // reaches a panic in a *non-entry* crate (never true:
+                    // entries are the only sources), so: unused.
+                    false
+                }
+                Rule::CrateLayering | Rule::SeedDiscipline => false,
+                _ => relaxed
+                    .iter()
+                    .any(|f| f.rule == p.rule && f.line == p.effective_line),
+            };
+            if !has_site {
+                report.findings.push(Finding {
+                    rule: Rule::UnusedWaiver,
+                    path: a.file.path.clone(),
+                    line: p.line,
+                    col: p.col,
+                    key: format!("unused-waiver:{}:{}", a.file.path, p.rule.name()),
+                    message: format!(
+                        "`allow({})` pragma waives nothing here — the code it \
+                         excused no longer exists; remove the pragma",
+                        p.rule.name()
+                    ),
+                });
+            }
+        }
+        report.findings.extend(a.bad.iter().cloned());
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule.name()).cmp(&(&b.path, b.line, b.col, b.rule.name())));
+    report
+}
+
+/// The token-level rules (everything PR 3 enforced). With `relaxed` set,
+/// file-kind and test-region exemptions are ignored — used to decide
+/// whether a pragma still guards a *potential* site.
+fn token_rule_findings(
+    path: &str,
+    code: &[&Token],
+    kind: FileKind,
+    test_ranges: &[(u32, u32)],
+    relaxed: bool,
+) -> Vec<Finding> {
+    let in_test = |line: u32| -> bool {
+        !relaxed
+            && (kind == FileKind::TestHarness
+                || test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi))
+    };
+    let mut raw = Vec::new();
     for (i, t) in code.iter().enumerate() {
         // det-collections
         if t.kind == TokenKind::Ident
@@ -169,6 +481,7 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
                 path: path.to_string(),
                 line: t.line,
                 col: t.col,
+                key: token_key(Rule::DetCollections, path, t.line),
                 message: format!(
                     "std `{}` iterates in per-process random order; \
                      use `tao_util::det::{}` instead",
@@ -190,6 +503,7 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
                 path: path.to_string(),
                 line: t.line,
                 col: t.col,
+                key: token_key(Rule::NoWallClock, path, t.line),
                 message: format!(
                     "`{}::now` reads the wall clock; simulated code must \
                      take time from `tao_sim::SimTime`",
@@ -199,7 +513,7 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
         }
 
         // no-unwrap-in-lib: `.unwrap(` / `.expect(`
-        if kind == FileKind::Lib
+        if (kind == FileKind::Lib || relaxed)
             && t.kind == TokenKind::Punct
             && t.text == "."
             && !in_test(t.line)
@@ -214,6 +528,7 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
                         path: path.to_string(),
                         line: name.line,
                         col: name.col,
+                        key: token_key(Rule::NoUnwrapInLib, path, name.line),
                         message: format!(
                             "`.{}(` in library code can panic; return an error \
                              or add `// tao-lint: allow(no-unwrap-in-lib, \
@@ -243,22 +558,7 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
             }
         }
     }
-
-    // Apply waivers.
-    for f in raw {
-        let waiver = pragmas
-            .iter()
-            .find(|p| p.rule == f.rule && p.effective_line == f.line);
-        match waiver {
-            Some(p) => report.waived.push((p.rule, f.line)),
-            None => report.findings.push(f),
-        }
-    }
-    report.findings.append(&mut bad);
-    report
-        .findings
-        .sort_by(|a, b| (a.line, a.col).cmp(&(b.line, b.col)));
-    report
+    raw
 }
 
 fn registry_finding(path: &str, name: &Token) -> Finding {
@@ -267,12 +567,192 @@ fn registry_finding(path: &str, name: &Token) -> Finding {
         path: path.to_string(),
         line: name.line,
         col: name.col,
+        key: token_key(Rule::NoRegistryImport, path, name.line),
         message: format!(
             "import of banned registry crate `{}`; the hermetic build \
              policy allows only in-tree tao-* crates (see DESIGN.md)",
             name.text
         ),
     }
+}
+
+/// `crate-layering`: every `tao_x::` path (in `use` declarations and
+/// inline) must point at a crate the owning crate is allowed to see.
+fn layering_findings(file: &SourceFile, code: &[&Token]) -> Vec<Finding> {
+    let Some((_, allowed)) = LAYERS.iter().find(|(name, _)| *name == file.krate) else {
+        return Vec::new(); // unknown crate: nothing to enforce
+    };
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !t.text.starts_with("tao_") {
+            continue;
+        }
+        if !matches!(code.get(i + 1), Some(p) if p.text == "::") {
+            continue;
+        }
+        let target = t.text.replace('_', "-");
+        if target == file.krate || !LAYERS.iter().any(|(name, _)| *name == target) {
+            continue;
+        }
+        if !allowed.contains(&target.as_str()) {
+            out.push(Finding {
+                rule: Rule::CrateLayering,
+                path: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                key: format!("crate-layering:{}:{}->{}", file.path, file.krate, target),
+                message: format!(
+                    "`{}` must not depend on `{}`: the layering DAG allows \
+                     {} → {{{}}} only (see DESIGN.md §8)",
+                    file.krate,
+                    target,
+                    file.krate,
+                    allowed.join(", ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `seed-discipline`: every `seed_from_u64(…)` argument must be built
+/// from literals, parameters, and seed-derivation arithmetic only.
+fn seed_findings(
+    file: &SourceFile,
+    code: &[&Token],
+    test_ranges: &[(u32, u32)],
+    items: &[Item],
+) -> Vec<Finding> {
+    if file.kind == FileKind::TestHarness {
+        return Vec::new();
+    }
+    let in_test =
+        |line: u32| test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "seed_from_u64" {
+            continue;
+        }
+        if !matches!(code.get(i + 1), Some(p) if p.text == "(") {
+            continue;
+        }
+        if in_test(t.line) {
+            continue;
+        }
+        // Walk the argument tokens inside the balanced parens.
+        let mut depth = 0i32;
+        let mut k = i + 1;
+        let mut culprit: Option<String> = None;
+        while k < code.len() {
+            let text = code[k].text.as_str();
+            match text {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k > i + 1 && code[k].kind == TokenKind::Ident {
+                let is_call = matches!(code.get(k + 1), Some(p) if p.text == "(");
+                if SEED_DENIED_IDENTS.contains(&text) {
+                    culprit = Some(format!("`{text}`"));
+                    break;
+                }
+                if is_call
+                    && !text.contains("seed")
+                    && !SEED_ALLOWED_CALLS.contains(&text)
+                    && !text.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    && !matches!(text, "u8" | "u16" | "u32" | "u64" | "u128" | "usize")
+                {
+                    culprit = Some(format!("call to `{text}(…)`"));
+                    break;
+                }
+            }
+            k += 1;
+        }
+        if let Some(culprit) = culprit {
+            let qual = enclosing_fn(items, code[i].lo).unwrap_or_else(|| format!("L{}", t.line));
+            out.push(Finding {
+                rule: Rule::SeedDiscipline,
+                path: file.path.clone(),
+                line: t.line,
+                col: t.col,
+                key: format!("seed-discipline:{}:{}", file.path, qual),
+                message: format!(
+                    "RNG seed flows from {culprit}, not a literal or derived \
+                     seed; derive seeds from a master seed so runs replay \
+                     bit-identically"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The qualified name of the innermost `fn` item containing byte `lo`.
+fn enclosing_fn(items: &[Item], lo: usize) -> Option<String> {
+    let mut best: Option<&Item> = None;
+    for item in items {
+        item.visit(&mut |i| {
+            if i.kind == ItemKind::Fn && i.lo <= lo && lo < i.hi {
+                let better = match best {
+                    Some(b) => i.hi - i.lo <= b.hi - b.lo,
+                    None => true,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        });
+    }
+    best.map(|i| i.qual.clone())
+}
+
+/// `panic-reachability`: a `pub` non-test function in the simulation
+/// crates that can transitively reach a panic site must carry a pragma at
+/// its own definition line.
+fn panic_reachability_findings(graph: &CallGraph) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.vis != Visibility::Pub || !PANIC_ENTRY_CRATES.contains(&node.krate.as_str()) {
+            continue;
+        }
+        let Some((chain, owner, site)) = graph.reachable_panic(i) else {
+            continue;
+        };
+        let stem = node
+            .path
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or("?");
+        let via = if chain.len() > 1 {
+            format!(" via {}", chain.join(" → "))
+        } else {
+            String::new()
+        };
+        out.push(Finding {
+            rule: Rule::PanicReachability,
+            path: node.path.clone(),
+            line: node.line,
+            col: 1,
+            key: format!("panic-reachability:{}:{}::{}", node.krate, stem, node.qual),
+            message: format!(
+                "pub fn `{}` can reach {} at {}:{}{}; acknowledge the panic \
+                 path with `// tao-lint: allow(panic-reachability, reason = \
+                 \"...\")` at this entry point",
+                node.qual,
+                site.kind.describe(),
+                owner.path,
+                site.line,
+                via
+            ),
+        });
+    }
+    out
 }
 
 /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
@@ -358,6 +838,15 @@ fn collect_pragmas(
         if t.kind != TokenKind::Comment {
             continue;
         }
+        // Doc comments are documentation, not directives: a pragma shown
+        // as an *example* in rustdoc must not register as a waiver.
+        if t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!")
+        {
+            continue;
+        }
         let Some(at) = t.text.find("tao-lint:") else {
             continue;
         };
@@ -370,6 +859,8 @@ fn collect_pragmas(
                 pragmas.push(Pragma {
                     rule,
                     effective_line: if has_code_on_line { t.line } else { t.line + 1 },
+                    line: t.line,
+                    col: t.col,
                 });
             }
             Err(why) => bad.push(Finding {
@@ -377,6 +868,7 @@ fn collect_pragmas(
                 path: path.to_string(),
                 line: t.line,
                 col: t.col,
+                key: token_key(Rule::BadPragma, path, t.line),
                 message: why,
             }),
         }
@@ -431,6 +923,27 @@ mod tests {
         lint_source("f.rs", src, kind)
             .findings
             .into_iter()
+            .map(|f| format!("{}:{}", f.rule.name(), f.line))
+            .collect()
+    }
+
+    fn ws(files: Vec<(&str, &str, FileKind, &str)>) -> WorkspaceReport {
+        let sources: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(path, krate, kind, source)| SourceFile {
+                path: path.to_string(),
+                krate: krate.to_string(),
+                kind,
+                source: source.to_string(),
+            })
+            .collect();
+        lint_workspace(&sources)
+    }
+
+    fn ws_rules(report: &WorkspaceReport) -> Vec<String> {
+        report
+            .findings
+            .iter()
             .map(|f| format!("{}:{}", f.rule.name(), f.line))
             .collect()
     }
@@ -501,5 +1014,137 @@ mod tests {
     fn test_attr_covers_a_single_fn() {
         let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }\n";
         assert_eq!(findings(src, FileKind::Lib), vec!["no-unwrap-in-lib:3"]);
+    }
+
+    // ---- structural rules (workspace driver) ----
+
+    #[test]
+    fn layering_violation_flags_use_and_inline_paths() {
+        let report = ws(vec![(
+            "crates/overlay/src/bad.rs",
+            "tao-overlay",
+            FileKind::Lib,
+            "use tao_sim::SimTime;\npub fn f() { let _ = tao_core::params(); }\n",
+        )]);
+        let rules = ws_rules(&report);
+        assert!(rules.contains(&"crate-layering:1".to_string()), "{rules:?}");
+        assert!(rules.contains(&"crate-layering:2".to_string()), "{rules:?}");
+    }
+
+    #[test]
+    fn layering_allows_the_dag() {
+        let report = ws(vec![(
+            "crates/overlay/src/ok.rs",
+            "tao-overlay",
+            FileKind::Lib,
+            "use tao_util::time::SimDuration;\nuse tao_topology::Graph;\n",
+        )]);
+        assert!(
+            !ws_rules(&report).iter().any(|r| r.starts_with("crate-layering")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn seed_discipline_flags_wall_clock_and_unknown_calls() {
+        let report = ws(vec![(
+            "crates/core/src/s.rs",
+            "tao-core",
+            FileKind::Lib,
+            "fn a(seed: u64) { let _ = StdRng::seed_from_u64(seed.wrapping_add(1)); }\n\
+             fn b(&self) { let _ = StdRng::seed_from_u64(self.now.as_micros()); }\n\
+             fn c() { let _ = StdRng::seed_from_u64(compute_stuff()); }\n\
+             fn d(master: u64, i: u64) { let _ = StdRng::seed_from_u64(task_seed(master, i)); }\n",
+        )]);
+        let rules: Vec<String> = ws_rules(&report)
+            .into_iter()
+            .filter(|r| r.starts_with("seed-discipline"))
+            .collect();
+        assert_eq!(rules, vec!["seed-discipline:2", "seed-discipline:3"]);
+    }
+
+    #[test]
+    fn panic_reachability_fires_at_entry_and_respects_pragmas() {
+        let src = "\
+pub fn entry() { helper() }\n\
+fn helper(x: Option<u32>) { x.unwrap(); } // tao-lint: allow(no-unwrap-in-lib, reason = \"leaf ok\")\n\
+// tao-lint: allow(panic-reachability, reason = \"bounded by construction\")\n\
+pub fn waived_entry() { helper() }\n\
+fn private_reaches() { helper() }\n";
+        let report = ws(vec![(
+            "crates/overlay/src/p.rs",
+            "tao-overlay",
+            FileKind::Lib,
+            src,
+        )]);
+        let pr: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::PanicReachability)
+            .collect();
+        // Only the unwaived pub entry fires; leaf pragmas do not discharge
+        // the entry, private fns are not entries.
+        assert_eq!(pr.len(), 1, "{:?}", report.findings);
+        assert_eq!(pr[0].line, 1);
+        assert!(pr[0].message.contains("entry → helper"), "{}", pr[0].message);
+        assert!(report
+            .waived
+            .iter()
+            .any(|(r, _, line)| *r == Rule::PanicReachability && *line == 4));
+    }
+
+    #[test]
+    fn non_entry_crates_do_not_fire_panic_reachability() {
+        let report = ws(vec![(
+            "crates/topology/src/t.rs",
+            "tao-topology",
+            FileKind::Lib,
+            "pub fn gen(x: Option<u32>) -> u32 { x.unwrap() } // tao-lint: allow(no-unwrap-in-lib, reason = \"ok\")\n",
+        )]);
+        assert!(
+            !ws_rules(&report).iter().any(|r| r.starts_with("panic-reachability")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn unused_waiver_flags_stale_pragmas_only() {
+        let src = "\
+fn live(x: Option<u32>) { x.unwrap(); } // tao-lint: allow(no-unwrap-in-lib, reason = \"used\")\n\
+fn stale() { let y = 1 + 1; } // tao-lint: allow(no-unwrap-in-lib, reason = \"code moved away\")\n";
+        let report = ws(vec![(
+            "crates/overlay/src/w.rs",
+            "tao-overlay",
+            FileKind::Lib,
+            src,
+        )]);
+        let uw: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::UnusedWaiver)
+            .collect();
+        assert_eq!(uw.len(), 1, "{:?}", report.findings);
+        assert_eq!(uw[0].line, 2);
+    }
+
+    #[test]
+    fn belt_and_suspenders_pragmas_in_tests_are_not_stale() {
+        // A pragma guarding an unwrap inside #[cfg(test)] waives nothing
+        // (the rule is off there) but still guards a potential site, so it
+        // is not reported as unused.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) { x.unwrap(); } // tao-lint: allow(no-unwrap-in-lib, reason = \"defensive\")\n}\n";
+        let report = ws(vec![(
+            "crates/overlay/src/bt.rs",
+            "tao-overlay",
+            FileKind::Lib,
+            src,
+        )]);
+        assert!(
+            !ws_rules(&report).iter().any(|r| r.starts_with("unused-waiver")),
+            "{:?}",
+            report.findings
+        );
     }
 }

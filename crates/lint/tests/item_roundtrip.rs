@@ -1,0 +1,125 @@
+//! Property test: item-parser round-trip over the *real* workspace.
+//!
+//! For every `.rs` file the manifest-driven walk discovers, the
+//! recovered top-level item spans plus the gaps between them must
+//! reconstruct the file's byte count exactly — no overlap, no token
+//! orphaned outside every item, nothing counted twice. This pins the
+//! brace-matching logic of `items::parse_items` against all the syntax
+//! the codebase actually uses, not just the unit-test snippets.
+
+use std::path::Path;
+
+use tao_lint::items::{code_tokens, parse_items};
+use tao_lint::lexer::lex;
+use tao_lint::walk::workspace_sources;
+
+/// Integration tests run with the package directory as CWD; the
+/// workspace root is two levels up.
+fn workspace_root() -> &'static Path {
+    Path::new("../..")
+}
+
+#[test]
+fn spans_plus_gaps_reconstruct_every_file_exactly() {
+    let root = workspace_root();
+    let walked = workspace_sources(root).expect("walk the workspace");
+    assert!(
+        walked.len() > 50,
+        "workspace walk found only {} files — manifest parsing regressed?",
+        walked.len()
+    );
+    for file in &walked {
+        let source = std::fs::read_to_string(root.join(&file.path)).expect("read source");
+        let tokens = lex(&source);
+        let code = code_tokens(&tokens);
+        let items = parse_items(&code);
+
+        // Top-level spans are sorted and non-overlapping.
+        for w in items.windows(2) {
+            assert!(
+                w[0].hi <= w[1].lo,
+                "{}: item `{}` [{}, {}) overlaps `{}` [{}, {})",
+                file.path.display(),
+                w[0].qual,
+                w[0].lo,
+                w[0].hi,
+                w[1].qual,
+                w[1].lo,
+                w[1].hi
+            );
+        }
+
+        // Spans + gaps == file byte count, exactly.
+        let mut covered = 0usize;
+        let mut cursor = 0usize;
+        for item in &items {
+            assert!(
+                item.lo >= cursor && item.hi >= item.lo && item.hi <= source.len(),
+                "{}: item `{}` span [{}, {}) out of order or out of bounds (len {})",
+                file.path.display(),
+                item.qual,
+                item.lo,
+                item.hi,
+                source.len()
+            );
+            covered += item.hi - item.lo;
+            cursor = item.hi;
+        }
+        let gaps = source.len() - covered;
+        assert_eq!(
+            covered + gaps,
+            source.len(),
+            "{}: span arithmetic must be exact",
+            file.path.display()
+        );
+
+        // Every code token is owned by exactly one top-level item, and
+        // the gaps own none of them.
+        for t in &code {
+            let owners = items
+                .iter()
+                .filter(|i| i.lo <= t.lo && t.hi <= i.hi)
+                .count();
+            assert_eq!(
+                owners,
+                1,
+                "{}: token {:?} at byte {} (line {}) owned by {} top-level items",
+                file.path.display(),
+                t.text,
+                t.lo,
+                t.line,
+                owners
+            );
+        }
+    }
+}
+
+#[test]
+fn nested_items_stay_inside_their_parents() {
+    let root = workspace_root();
+    let walked = workspace_sources(root).expect("walk the workspace");
+    for file in &walked {
+        let source = std::fs::read_to_string(root.join(&file.path)).expect("read source");
+        let tokens = lex(&source);
+        let code = code_tokens(&tokens);
+        for item in parse_items(&code) {
+            check_children(&item, &file.path.display().to_string());
+        }
+    }
+}
+
+fn check_children(item: &tao_lint::items::Item, path: &str) {
+    for child in &item.children {
+        assert!(
+            item.lo <= child.lo && child.hi <= item.hi,
+            "{path}: child `{}` [{}, {}) escapes parent `{}` [{}, {})",
+            child.qual,
+            child.lo,
+            child.hi,
+            item.qual,
+            item.lo,
+            item.hi
+        );
+        check_children(child, path);
+    }
+}

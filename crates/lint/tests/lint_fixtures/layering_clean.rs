@@ -1,0 +1,14 @@
+//! Fixture: the same overlay-layer file speaking only to crates the DAG
+//! allows — time newtypes come from `tao_util::time`, not the engine.
+
+use tao_landmark::LandmarkVector;
+use tao_topology::Graph;
+use tao_util::time::{SimDuration, SimTime};
+
+pub fn deadline(now: SimTime, refresh: SimDuration) -> SimTime {
+    now + refresh
+}
+
+pub fn dims(v: &LandmarkVector) -> usize {
+    v.len()
+}

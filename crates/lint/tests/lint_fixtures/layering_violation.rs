@@ -1,0 +1,11 @@
+//! Fixture: an overlay-layer file reaching *up* the DAG. Linted as
+//! `tao-overlay` library code, so both the `use` edge into the engine
+//! and the inline path into the assembled system are violations.
+
+use tao_sim::SimTime;
+use tao_topology::Graph; // allowed: overlay sits above topology
+
+pub fn deadline(now: SimTime) -> SimTime {
+    let params = tao_core::params::ExperimentParams::default();
+    now + params.refresh_interval
+}

@@ -1,0 +1,18 @@
+//! Fixture: a pub entry point in an entry crate (`tao-overlay`) that
+//! transitively reaches a leaf panic. The leaf's own waiver discharges
+//! `no-unwrap-in-lib` but NOT the entry-point obligation.
+
+pub struct Router {
+    hops: Vec<u32>,
+}
+
+impl Router {
+    pub fn route(&self, target: u32) -> u32 {
+        self.pick(target)
+    }
+
+    fn pick(&self, target: u32) -> u32 {
+        // tao-lint: allow(no-unwrap-in-lib, reason = "hops is non-empty after join")
+        *self.hops.first().expect("joined") + target
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: every seed is a literal, a parameter, or seed-derivation
+//! arithmetic over one — the replayable shapes.
+
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
+
+pub fn master() -> StdRng {
+    StdRng::seed_from_u64(0xD1CE)
+}
+
+pub fn derived(master: u64, task: u64) -> StdRng {
+    StdRng::seed_from_u64(master.wrapping_mul(0x9E37_79B9).wrapping_add(task))
+}
+
+pub fn forwarded(seed: u64, node: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ u64::from(node))
+}
+
+fn derive_seed(master: u64, lane: u64) -> u64 {
+    master.rotate_left(17) ^ lane
+}
+
+pub fn helper_derived(master: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, 3))
+}

@@ -1,0 +1,19 @@
+//! Fixture: RNG seeds flowing from non-deterministic sources. Linted as
+//! `tao-core` library code.
+
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::SeedableRng;
+
+pub struct Clock {
+    now: u64,
+}
+
+impl Clock {
+    pub fn jittered(&self) -> StdRng {
+        StdRng::seed_from_u64(self.now.wrapping_mul(3) ^ hash_hostname())
+    }
+}
+
+fn hash_hostname() -> u64 {
+    7
+}

@@ -1,0 +1,19 @@
+//! Fixture: every pragma still guards a live site, including a
+//! belt-and-suspenders waiver inside a test region (the rule is off
+//! there, but the site exists, so the pragma is not stale). Linted as
+//! `tao-landmark`, which is not a panic-reachability entry crate.
+
+pub fn head(xs: &[u32]) -> u32 {
+    // tao-lint: allow(no-unwrap-in-lib, reason = "callers pass non-empty slices by contract")
+    *xs.first().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn head_of_one() {
+        let v = vec![1u32];
+        // tao-lint: allow(no-unwrap-in-lib, reason = "defensive: kept while the helper is shared with doctests")
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

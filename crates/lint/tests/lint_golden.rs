@@ -90,7 +90,10 @@ fn clean_fixtures_stay_quiet() {
 }
 
 #[test]
-fn every_rule_fires_somewhere() {
+fn every_token_rule_fires_somewhere() {
+    // The structural rules (panic-reachability, crate-layering,
+    // seed-discipline, unused-waiver) need workspace context and are
+    // exercised by `tests/lint_structural.rs` instead.
     let mut fired: Vec<Rule> = Vec::new();
     for (name, source, kind) in FIXTURES {
         for f in lint_source(name, source, *kind).findings {
@@ -99,7 +102,7 @@ fn every_rule_fires_somewhere() {
             }
         }
     }
-    for rule in tao_lint::rules::ALL_RULES {
+    for rule in tao_lint::rules::TOKEN_RULES {
         assert!(
             fired.contains(&rule),
             "no fixture exercises rule `{}`",

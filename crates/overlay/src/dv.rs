@@ -11,7 +11,7 @@
 
 use tao_util::det::DetMap;
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 use tao_topology::RttOracle;
 
 use crate::can::{CanOverlay, OverlayError, OverlayNodeId, Route};

@@ -45,7 +45,7 @@
 //!
 //! let trace = hybrid_search(query, &query_vec, &pool, 10, &oracle);
 //! let best = trace.best_after(10).unwrap();
-//! assert!(best.rtt >= tao_sim::SimDuration::ZERO);
+//! assert!(best.rtt >= tao_util::time::SimDuration::ZERO);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -5,7 +5,7 @@
 //! the algorithms to the distance between A and its actual nearest
 //! neighbor."
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 use tao_topology::{NodeIdx, RttOracle};
 
 /// The nearest-neighbor stretch: `found / actual`.
@@ -23,7 +23,7 @@ use tao_topology::{NodeIdx, RttOracle};
 ///
 /// ```
 /// use tao_proximity::nn_stretch;
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 ///
 /// let s = nn_stretch(SimDuration::from_millis(30), SimDuration::from_millis(10));
 /// assert!((s - 3.0).abs() < 1e-12);

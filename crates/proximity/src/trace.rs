@@ -1,6 +1,6 @@
 //! Search traces: the running best answer after every RTT probe.
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 use tao_topology::NodeIdx;
 
 /// One RTT probe made by a search and the best answer known after it.
@@ -32,7 +32,7 @@ pub struct Best {
 ///
 /// ```
 /// use tao_proximity::SearchTrace;
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 /// use tao_topology::NodeIdx;
 ///
 /// let mut t = SearchTrace::new();

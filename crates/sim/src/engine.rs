@@ -10,7 +10,7 @@
 use crate::event::EventQueue;
 use crate::fault::{FaultPlan, Verdict};
 use crate::stats::NetStats;
-use crate::time::{SimDuration, SimTime};
+use tao_util::time::{SimDuration, SimTime};
 use std::fmt;
 
 /// Identifies a simulated node. Dense, assigned by [`Simulator::add_node`] in
@@ -299,6 +299,7 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
     /// are counted as drops; timers are simply lost) and processing moves on
     /// to the next event, so `Some` means a handler actually ran. Returns
     /// the handler's output, or `None` when the queue is empty.
+    // tao-lint: allow(panic-reachability, reason = "stepping panics only if the event heap and clock disagree, an engine bug the invariant harness would catch")
     pub fn step<R>(
         &mut self,
         on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>) -> R,
@@ -358,6 +359,7 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
     /// Runs until the queue is empty or virtual time would pass `deadline`;
     /// returns the number of events *delivered* (faulted-away events are
     /// consumed but not counted).
+    // tao-lint: allow(panic-reachability, reason = "delegates to step(); same heap/clock invariant")
     pub fn run_until(
         &mut self,
         deadline: SimTime,

@@ -9,7 +9,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::time::SimTime;
+use tao_util::time::SimTime;
 
 /// An event of payload type `E` scheduled for a specific instant.
 #[derive(Debug, Clone, PartialEq, Eq)]

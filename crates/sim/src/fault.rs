@@ -43,7 +43,7 @@
 //! ```
 
 use crate::engine::NodeId;
-use crate::time::{SimDuration, SimTime};
+use tao_util::time::{SimDuration, SimTime};
 use tao_util::det::{DetMap, DetSet};
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};

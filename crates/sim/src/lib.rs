@@ -51,10 +51,13 @@ mod engine;
 mod event;
 mod fault;
 mod stats;
-mod time;
 
 pub use engine::{Engine, LatencyModel, Message, NodeId, Simulator, UniformLatency};
 pub use event::{EventQueue, ScheduledEvent};
 pub use fault::FaultPlan;
 pub use stats::NetStats;
-pub use time::{SimDuration, SimTime};
+// The time newtypes live in `tao_util::time` so that the layers below the
+// simulator (topology, landmark, overlay, proximity, softstate) can speak
+// latencies and TTLs without depending on the event engine; `tao-sim`
+// re-exports them as the canonical names for simulation code.
+pub use tao_util::time::{SimDuration, SimTime};

@@ -1,7 +1,7 @@
 //! Configuration of the global soft-state subsystem.
 
 use tao_landmark::{LandmarkGrid, SpaceFillingCurve};
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 /// Configuration shared by all maps: how landmark numbers are computed, how
 /// maps are condensed, and how long entries live.
@@ -23,7 +23,7 @@ pub struct SoftStateConfig {
 /// ```
 /// use tao_softstate::SoftStateConfig;
 /// use tao_landmark::{LandmarkGrid, SpaceFillingCurve};
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 ///
 /// let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
 /// let config = SoftStateConfig::builder(grid)

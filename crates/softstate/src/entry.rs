@@ -3,7 +3,7 @@
 use tao_landmark::{LandmarkNumber, LandmarkVector};
 use tao_util::bytes::{ByteReader, ByteWriter};
 use tao_overlay::{OverlayNodeId, Point};
-use tao_sim::{SimDuration, SimTime};
+use tao_util::time::{SimDuration, SimTime};
 use tao_topology::NodeIdx;
 
 /// Load and capacity statistics a node may publish alongside its proximity

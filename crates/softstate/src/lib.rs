@@ -28,7 +28,7 @@
 //! ```
 //! use tao_softstate::{GlobalState, SoftStateConfig};
 //! use tao_landmark::{LandmarkGrid, SpaceFillingCurve};
-//! use tao_sim::SimDuration;
+//! use tao_util::time::SimDuration;
 //!
 //! let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
 //! let config = SoftStateConfig::builder(grid)

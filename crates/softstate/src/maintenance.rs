@@ -13,7 +13,7 @@
 
 use tao_overlay::ecan::EcanOverlay;
 use tao_overlay::OverlayNodeId;
-use tao_sim::{SimDuration, SimTime};
+use tao_util::time::{SimDuration, SimTime};
 
 use crate::entry::NodeInfo;
 use crate::store::GlobalState;

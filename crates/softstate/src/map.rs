@@ -16,7 +16,7 @@ use tao_util::det::DetMap;
 
 use tao_landmark::{region_position, LandmarkNumber, LandmarkVector};
 use tao_overlay::{CanOverlay, OverlayNodeId, Point, Zone};
-use tao_sim::SimTime;
+use tao_util::time::SimTime;
 
 use crate::config::SoftStateConfig;
 use crate::entry::{NodeInfo, SoftStateEntry};
@@ -46,7 +46,7 @@ impl ZoneKey {
 /// use tao_softstate::{SoftStateConfig, ZoneMap, NodeInfo};
 /// use tao_landmark::{LandmarkGrid, LandmarkVector, SpaceFillingCurve};
 /// use tao_overlay::{OverlayNodeId, Zone};
-/// use tao_sim::{SimDuration, SimTime};
+/// use tao_util::time::{SimDuration, SimTime};
 /// use tao_topology::NodeIdx;
 ///
 /// let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).unwrap();
@@ -453,7 +453,7 @@ fn condensed_box(region: &Zone, rate: f64) -> Zone {
 mod tests {
     use super::*;
     use tao_landmark::LandmarkGrid;
-    use tao_sim::SimDuration;
+    use tao_util::time::SimDuration;
     use tao_topology::NodeIdx;
 
     fn config() -> SoftStateConfig {

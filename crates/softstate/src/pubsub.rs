@@ -17,7 +17,7 @@ use std::fmt;
 use tao_util::det::DetMap;
 
 use tao_overlay::{OverlayNodeId, Zone};
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 use tao_topology::{NodeIdx, RttOracle};
 
 use crate::entry::{LoadStats, NodeInfo};

@@ -14,7 +14,7 @@ use tao_util::det::DetMap;
 
 use tao_landmark::{LandmarkNumber, LandmarkVector};
 use tao_overlay::chord::{ChordOverlay, RingId};
-use tao_sim::SimTime;
+use tao_util::time::SimTime;
 use tao_topology::NodeIdx;
 
 use crate::config::SoftStateConfig;
@@ -169,7 +169,7 @@ mod tests {
     use super::*;
     use tao_landmark::LandmarkGrid;
     use tao_overlay::chord::RandomFingerSelector;
-    use tao_sim::SimDuration;
+    use tao_util::time::SimDuration;
 
     fn config() -> SoftStateConfig {
         let grid = LandmarkGrid::new(3, 5, SimDuration::from_millis(320)).expect("valid grid");

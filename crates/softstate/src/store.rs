@@ -9,7 +9,7 @@ use tao_util::det::{DetMap, DetSet};
 
 use tao_overlay::ecan::EcanOverlay;
 use tao_overlay::{CanOverlay, OverlayNodeId, Zone};
-use tao_sim::SimTime;
+use tao_util::time::SimTime;
 
 use crate::config::SoftStateConfig;
 use crate::entry::NodeInfo;
@@ -340,7 +340,7 @@ mod tests {
     use tao_landmark::{LandmarkGrid, LandmarkVector};
     use tao_overlay::ecan::RandomSelector;
     use tao_overlay::Point;
-    use tao_sim::SimDuration;
+    use tao_util::time::SimDuration;
     use tao_topology::NodeIdx;
 
     fn setup(n: u32) -> (EcanOverlay, GlobalState) {

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 /// Index of a router in a [`Graph`]. Dense, starting at zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -120,7 +120,7 @@ impl Csr {
 ///
 /// ```
 /// use tao_topology::{EdgeClass, Graph, NodeKind};
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 ///
 /// let mut g = Graph::new();
 /// let a = g.add_node(NodeKind::Transit { domain: 0 });

@@ -8,7 +8,7 @@
 
 use tao_util::rand::seq::SliceRandom;
 use tao_util::rand::Rng;
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 use crate::graph::{Graph, NodeIdx};
 use crate::shortest_path::shortest_paths;

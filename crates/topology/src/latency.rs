@@ -11,7 +11,7 @@
 
 use tao_util::rand::distributions::{Distribution, Uniform};
 use tao_util::rand::Rng;
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 use crate::graph::EdgeClass;
 

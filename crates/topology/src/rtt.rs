@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 use crate::graph::{Graph, NodeIdx};
 use crate::shortest_path::SpCache;
@@ -32,7 +32,7 @@ use crate::shortest_path::SpCache;
 ///     &TransitStubParams::tsk_small_mini(), LatencyAssignment::manual(), 2);
 /// let oracle = RttOracle::new(topo.graph().clone());
 /// let rtt = oracle.measure(NodeIdx(0), NodeIdx(42));
-/// assert!(rtt > tao_sim::SimDuration::ZERO);
+/// assert!(rtt > tao_util::time::SimDuration::ZERO);
 /// assert_eq!(oracle.measurements(), 1);
 /// ```
 #[derive(Debug, Clone)]

@@ -11,7 +11,7 @@ use std::cmp::Reverse;
 use tao_util::det::{DetMap, DetSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use tao_sim::SimDuration;
+use tao_util::time::SimDuration;
 
 use crate::graph::{Graph, NodeIdx};
 
@@ -24,7 +24,7 @@ use crate::graph::{Graph, NodeIdx};
 ///
 /// ```
 /// use tao_topology::{shortest_paths, Graph, NodeIdx, NodeKind, EdgeClass};
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 ///
 /// let mut g = Graph::new();
 /// let a = g.add_node(NodeKind::Transit { domain: 0 });

@@ -14,6 +14,7 @@
 //! | [`bytes`] | `bytes` | big-endian `ByteWriter`/`ByteReader` |
 //! | [`det`] | `std::collections::Hash{Map,Set}` | `DetMap`/`DetSet` with deterministic iteration order |
 //! | [`par`] | `rayon` | order-preserving `par_map` over scoped threads, `TAO_WORKERS` knob |
+//! | [`time`] | `std::time` | virtual-time `SimTime`/`SimDuration` newtypes (re-exported by `tao-sim`) |
 //!
 //! Beyond hermeticity, in-tree pseudo-randomness is a *scientific*
 //! requirement: the paper's figures are seeded experiments, and `rand`
@@ -30,3 +31,4 @@ pub mod check;
 pub mod det;
 pub mod par;
 pub mod rand;
+pub mod time;

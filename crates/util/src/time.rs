@@ -14,7 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// # Example
 ///
 /// ```
-/// use tao_sim::{SimTime, SimDuration};
+/// use tao_util::time::{SimTime, SimDuration};
 ///
 /// let t = SimTime::ORIGIN + SimDuration::from_millis(3);
 /// assert_eq!(t.as_micros(), 3_000);
@@ -30,7 +30,7 @@ pub struct SimTime(u64);
 /// # Example
 ///
 /// ```
-/// use tao_sim::SimDuration;
+/// use tao_util::time::SimDuration;
 ///
 /// let rtt = SimDuration::from_millis(42) + SimDuration::from_micros(500);
 /// assert_eq!(rtt.as_micros(), 42_500);
