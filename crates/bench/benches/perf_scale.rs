@@ -1,0 +1,188 @@
+//! PR-6 pinned performance baseline: the timing-wheel event queue versus
+//! the binary-heap oracle it replaced, at simulator scale.
+//!
+//! The workload is the classic *hold* model — a queue holding `N` pending
+//! events where every step pops the earliest and schedules a replacement a
+//! pseudo-random offset into the future. That is exactly the steady state
+//! of a discrete-event simulation (one delivery triggers the next), and it
+//! exposes the asymptotic gap: the heap pays O(log N) comparisons per
+//! operation on a pointer-hopping layout, the wheel appends into a slot
+//! and drains it in order.
+//!
+//! Under `cargo bench … -- --bench` the before/after medians are written
+//! to `results/BENCH_06.json`; under `cargo test` everything runs once as
+//! a smoke check and nothing is written.
+
+use tao_sim::{EventQueue, HeapQueue, SimTime};
+use tao_util::bench::{bench_fn_captured, black_box, results_path, BenchResult};
+
+/// One comparison's before/after medians.
+struct Comparison {
+    name: &'static str,
+    before: BenchResult,
+    after: BenchResult,
+}
+
+/// Deterministic offset stream (xorshift64*); no `rand` in benches.
+struct Offsets(u64);
+
+impl Offsets {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        // Mixed horizons: mostly near-future (within a few wheel slots),
+        // a tail of far-future events that exercise cascading.
+        match self.0 % 8 {
+            0 => self.0 % 50_000_000,            // far: up to 50 s out
+            1..=2 => self.0 % 1_000_000,         // mid: within a second
+            _ => self.0 % 10_000,                // near: within 10 ms
+        }
+    }
+}
+
+/// Fills `q` with `fill` events from a fresh offset stream.
+macro_rules! fill_queue {
+    ($queue:expr, $fill:expr) => {{
+        let mut q = $queue;
+        let mut offsets = Offsets(0x9E37_79B9_7F4A_7C15);
+        for i in 0..$fill {
+            q.schedule(SimTime::from_micros(offsets.next()), i);
+        }
+        q
+    }};
+}
+
+/// Runs `ops` hold steps on a queue pre-filled with `fill` events.
+macro_rules! hold_loop {
+    ($queue:expr, $fill:expr, $ops:expr) => {{
+        let mut q = fill_queue!($queue, $fill);
+        let mut offsets = Offsets(0x243F_6A88_85A3_08D3);
+        let mut acc = 0u64;
+        for _ in 0..$ops {
+            let ev = q.pop().expect("hold queue never empties");
+            acc = acc.wrapping_add(ev.at.as_micros()).wrapping_add(ev.event);
+            q.schedule(ev.at + tao_sim::SimDuration::from_micros(offsets.next()), ev.event);
+        }
+        black_box(acc)
+    }};
+}
+
+/// Differential per-op cost: `(fill + ops)` median minus fill-only median,
+/// divided by the op count — the standard way to keep an unavoidable setup
+/// phase out of the reported steady-state figure.
+fn per_op(name: &str, total: BenchResult, fill_only: &BenchResult, ops: u64) -> BenchResult {
+    let mut r = total;
+    r.name = name.to_string();
+    r.median_ns = (r.median_ns - fill_only.median_ns).max(0.0) / ops as f64;
+    r.min_ns = (r.min_ns - fill_only.min_ns).max(0.0) / ops as f64;
+    r.max_ns = (r.max_ns - fill_only.max_ns).max(0.0) / ops as f64;
+    r
+}
+
+fn bench_event_queue_hold() -> Option<Comparison> {
+    // Simulator scale: a million in-flight events (the 10^6-node overlay
+    // keeps roughly one timer per node pending). The pre-fill is measured
+    // separately and subtracted, so the medians are per hold step in the
+    // steady state.
+    const FILL: u64 = 1 << 20;
+    const OPS: u64 = 1 << 18;
+    let heap_fill = bench_fn_captured("event_queue_fill_heap", || {
+        black_box(fill_queue!(HeapQueue::<u64>::new(), FILL).len());
+    })?;
+    let heap_total = bench_fn_captured("event_queue_fill_hold_heap", || {
+        hold_loop!(HeapQueue::<u64>::new(), FILL, OPS);
+    })?;
+    let wheel_fill = bench_fn_captured("event_queue_fill_wheel", || {
+        black_box(fill_queue!(EventQueue::<u64>::new(), FILL).len());
+    })?;
+    let wheel_total = bench_fn_captured("event_queue_fill_hold_wheel", || {
+        hold_loop!(EventQueue::<u64>::new(), FILL, OPS);
+    })?;
+    Some(Comparison {
+        name: "event_queue_hold",
+        before: per_op("event_queue_hold_heap", heap_total, &heap_fill, OPS),
+        after: per_op("event_queue_hold_wheel", wheel_total, &wheel_fill, OPS),
+    })
+}
+
+/// Drain throughput: schedule a burst, then pop everything in order — the
+/// shape of a simulation tick delivering a churn burst. Schedule and pop
+/// are both timed (a drain has no steady state to isolate); medians are
+/// per event.
+fn bench_event_queue_drain() -> Option<Comparison> {
+    const BURST: u64 = 1 << 20;
+    let before = bench_fn_captured("event_queue_drain_heap", || {
+        let mut q = fill_queue!(HeapQueue::<u64>::new(), BURST);
+        let mut acc = 0u64;
+        while let Some(ev) = q.pop() {
+            acc = acc.wrapping_add(ev.event);
+        }
+        black_box(acc);
+    })
+    .map(|r| r.per(BURST));
+    let after = bench_fn_captured("event_queue_drain_wheel", || {
+        let mut q = fill_queue!(EventQueue::<u64>::new(), BURST);
+        let mut acc = 0u64;
+        while let Some(ev) = q.pop() {
+            acc = acc.wrapping_add(ev.event);
+        }
+        black_box(acc);
+    })
+    .map(|r| r.per(BURST));
+    Some(Comparison {
+        name: "event_queue_drain",
+        before: before?,
+        after: after?,
+    })
+}
+
+trait PerOp {
+    fn per(self, ops: u64) -> BenchResult;
+}
+
+impl PerOp for BenchResult {
+    /// Rescales a whole-workload median to per-operation cost.
+    fn per(mut self, ops: u64) -> BenchResult {
+        self.median_ns /= ops as f64;
+        self.min_ns /= ops as f64;
+        self.max_ns /= ops as f64;
+        self
+    }
+}
+
+fn write_bench_06(comparisons: &[Comparison]) {
+    let mut body = String::from("{\n  \"pr\": 6,\n  \"comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let sep = if i + 1 == comparisons.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before\": \"{}\", \"after\": \"{}\", \
+             \"before_median_ns\": {:.1}, \"after_median_ns\": {:.1}, \
+             \"speedup\": {:.2}}}{sep}\n",
+            c.name,
+            c.before.name,
+            c.after.name,
+            c.before.median_ns,
+            c.after.median_ns,
+            c.before.median_ns / c.after.median_ns.max(1e-9),
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = results_path("BENCH_06.json");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("perf_scale: could not write {}: {e}", path.display());
+    } else {
+        println!("perf_scale: wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let comparisons: Vec<Comparison> = [bench_event_queue_hold(), bench_event_queue_drain()]
+        .into_iter()
+        .flatten()
+        .collect();
+    // Smoke mode (cargo test) captures nothing and must write nothing.
+    if !comparisons.is_empty() {
+        write_bench_06(&comparisons);
+    }
+}

@@ -211,7 +211,8 @@ mod tests {
             .copied()
             .find(|&id| !ecan.high_order_entries(id).is_empty())
             .expect("a 64-node eCAN has expressways");
-        let entry = &ecan.high_order_entries(chooser)[0];
+        let entries = ecan.high_order_entries(chooser);
+        let entry = &entries[0];
         let mut members = ecan.can().nodes_in(&entry.target_box);
         members.retain(|&m| m != chooser);
         assert!(members.len() >= 2, "need competition in the box");

@@ -6,6 +6,24 @@
 //! information a real deployment reconstructs by routing, available here
 //! without simulating every control message. Neighbor tables are maintained
 //! incrementally on join/departure exactly as the CAN protocol would.
+//!
+//! # Storage layout
+//!
+//! Node state lives in a struct-of-arrays arena keyed by the dense
+//! [`OverlayNodeId`]: one parallel array per field (`underlay`, `depth`,
+//! `alive`, sorted neighbor lists) plus a single flat `bounds` array holding
+//! every node's primary-zone bounds contiguously (`2 * dims` doubles per
+//! node, lows then highs). The routing sweep — "which neighbor's zone is
+//! closest to the target point?" — therefore reads consecutive cache lines
+//! instead of chasing a `Box<Zone>` per candidate. Zones taken over from
+//! departed neighbors are rare and stay in a per-node spill vector. The
+//! split tree is likewise an index-linked arena (`Vec` of nodes with `u32`
+//! children) rather than a pointer tree.
+//!
+//! Neighbor lists are kept sorted by id, which reproduces the iteration
+//! order of the `DetSet` (BTree) representation they replaced, so every
+//! decision downstream — taker choice, greedy tie-breaks, table builds —
+//! is byte-identical to the previous layout.
 
 use tao_util::det::DetSet;
 use std::error::Error;
@@ -89,56 +107,44 @@ impl Route {
     }
 }
 
-/// Zone-tree node: either a leaf owned by an overlay node or an internal
-/// split.
-#[derive(Debug, Clone)]
-enum TreeNode {
+/// Zone-tree node in the index-linked arena: either a leaf owned by an
+/// overlay node or an internal split whose children are arena indices.
+#[derive(Debug, Clone, Copy)]
+enum ArenaNode {
     Leaf(OverlayNodeId),
     Split {
-        axis: usize,
+        axis: u32,
         mid: f64,
-        lower: Box<TreeNode>,
-        upper: Box<TreeNode>,
+        lower: u32,
+        upper: u32,
     },
-}
-
-#[derive(Debug, Clone)]
-struct NodeState {
-    underlay: NodeIdx,
-    /// Zones owned by this node. The first is the *primary* zone acquired at
-    /// join; later entries are zones taken over from departed neighbors.
-    zones: Vec<Zone>,
-    /// Depth of the primary zone in the split tree (splits from the root).
-    depth: u32,
-    neighbors: DetSet<OverlayNodeId>,
-    alive: bool,
-}
-
-impl NodeState {
-    fn primary(&self) -> &Zone {
-        &self.zones[0]
-    }
-
-    fn owns_point(&self, p: &Point) -> bool {
-        self.zones.iter().any(|z| z.contains(p))
-    }
-
-    fn distance_to_point(&self, p: &Point) -> f64 {
-        self.zones
-            .iter()
-            .map(|z| z.distance_to_point(p))
-            .fold(f64::INFINITY, f64::min)
-    }
 }
 
 /// A content-addressable network over `[0,1)^d`.
 ///
-/// See the [crate documentation](crate) for an end-to-end example.
+/// See the [crate documentation](crate) for an end-to-end example and the
+/// [module documentation](self) for the struct-of-arrays storage layout.
 #[derive(Debug, Clone)]
 pub struct CanOverlay {
     dims: usize,
-    nodes: Vec<NodeState>,
-    tree: Option<TreeNode>,
+    /// Underlay router per node, indexed by id.
+    underlay: Vec<NodeIdx>,
+    /// Split-tree depth of the primary zone, indexed by id.
+    depth: Vec<u32>,
+    /// Liveness flag, indexed by id (departed ids are never reused).
+    alive: Vec<bool>,
+    /// CAN neighbors per node, each list sorted ascending by id (the same
+    /// iteration order as the BTree sets this layout replaced).
+    neighbors: Vec<Vec<OverlayNodeId>>,
+    /// Primary-zone bounds, flat: node `i` occupies
+    /// `bounds[i*2*dims .. (i+1)*2*dims]` as `lo[0..dims] ++ hi[0..dims]`.
+    bounds: Vec<f64>,
+    /// Zones taken over from departed neighbors (primary zone excluded);
+    /// empty for almost every node.
+    extra: Vec<Vec<Zone>>,
+    /// Split-tree arena; `root` indexes into it once a node has joined.
+    arena: Vec<ArenaNode>,
+    root: Option<u32>,
     live_count: usize,
     /// Morton index over live zones, maintained incrementally on
     /// join/split/departure; serves aligned-cube `nodes_in` queries
@@ -156,8 +162,14 @@ impl CanOverlay {
         }
         Some(CanOverlay {
             dims,
-            nodes: Vec::new(),
-            tree: None,
+            underlay: Vec::new(),
+            depth: Vec::new(),
+            alive: Vec::new(),
+            neighbors: Vec::new(),
+            bounds: Vec::new(),
+            extra: Vec::new(),
+            arena: Vec::new(),
+            root: None,
             live_count: 0,
             index: ZoneIndex::new(dims),
         })
@@ -178,13 +190,122 @@ impl CanOverlay {
         self.live_count == 0
     }
 
+    /// `true` if `id` was assigned and has not departed.
+    // tao-lint: allow(panic-reachability, reason = "bounds-checked get with unwrap_or; the only panic edge is the approximate name-match on index()")
+    pub fn is_live(&self, id: OverlayNodeId) -> bool {
+        self.alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// One past the largest id ever assigned — the size dense per-id
+    /// side tables must have to cover every node, live or departed.
+    pub fn id_bound(&self) -> usize {
+        self.underlay.len()
+    }
+
     /// Ids of all live nodes.
     pub fn live_nodes(&self) -> impl Iterator<Item = OverlayNodeId> + '_ {
-        self.nodes
+        self.alive
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive)
+            .filter(|(_, &a)| a)
             .map(|(i, _)| OverlayNodeId(i as u32))
+    }
+
+    /// Errs unless `id` was assigned and is still live.
+    fn ensure_live(&self, id: OverlayNodeId) -> Result<(), OverlayError> {
+        if self.is_live(id) {
+            Ok(())
+        } else {
+            Err(OverlayError::UnknownNode(id))
+        }
+    }
+
+    /// Lower bounds of node `i`'s primary zone, one entry per axis.
+    fn primary_lo(&self, i: usize) -> &[f64] {
+        let base = i * 2 * self.dims;
+        &self.bounds[base..base + self.dims]
+    }
+
+    /// Upper bounds of node `i`'s primary zone, one entry per axis.
+    fn primary_hi(&self, i: usize) -> &[f64] {
+        let base = i * 2 * self.dims + self.dims;
+        &self.bounds[base..base + self.dims]
+    }
+
+    /// Overwrites node `i`'s primary-zone bounds in the flat array.
+    fn set_primary(&mut self, i: usize, z: &Zone) {
+        let base = i * 2 * self.dims;
+        for a in 0..self.dims {
+            self.bounds[base + a] = z.lo(a);
+            self.bounds[base + self.dims + a] = z.hi(a);
+        }
+    }
+
+    /// Materializes node `i`'s primary zone from the flat bounds.
+    fn primary_zone(&self, i: usize) -> Zone {
+        Zone::from_slices(self.primary_lo(i), self.primary_hi(i))
+    }
+
+    /// Appends a node to every parallel array, returning its id.
+    fn push_node(&mut self, underlay: NodeIdx, zone: &Zone) -> OverlayNodeId {
+        let id = OverlayNodeId(self.underlay.len() as u32);
+        self.underlay.push(underlay);
+        self.depth.push(0);
+        self.alive.push(true);
+        self.neighbors.push(Vec::new());
+        for a in 0..self.dims {
+            self.bounds.push(zone.lo(a));
+        }
+        for a in 0..self.dims {
+            self.bounds.push(zone.hi(a));
+        }
+        self.extra.push(Vec::new());
+        id
+    }
+
+    /// `true` if node `i` owns `p` through any of its zones (primary
+    /// first, then takeovers — the order the zones were acquired).
+    fn node_owns_point(&self, i: usize, p: &Point) -> bool {
+        if bounds_contain(self.primary_lo(i), self.primary_hi(i), p) {
+            return true;
+        }
+        self.extra[i].iter().any(|z| z.contains(p))
+    }
+
+    /// Minimum torus distance from any of node `i`'s zones to `p`.
+    fn node_distance(&self, i: usize, p: &Point) -> f64 {
+        let mut d = bounds_distance(self.primary_lo(i), self.primary_hi(i), p);
+        for z in &self.extra[i] {
+            d = d.min(z.distance_to_point(p));
+        }
+        d
+    }
+
+    /// Total volume of node `i`'s zones, summed primary-first (the same
+    /// fold order as the zone-list representation this replaced).
+    fn node_volume(&self, i: usize) -> f64 {
+        let mut v = bounds_volume(self.primary_lo(i), self.primary_hi(i));
+        for z in &self.extra[i] {
+            v += z.volume();
+        }
+        v
+    }
+
+    /// `true` if any zone of node `i` is a CAN neighbor of any zone of
+    /// node `j`.
+    fn nodes_adjacent(&self, i: usize, j: usize) -> bool {
+        let a_pairs = std::iter::once((self.primary_lo(i), self.primary_hi(i)))
+            .chain(self.extra[i].iter().map(|z| (z.lo_slice(), z.hi_slice())));
+        for (alo, ahi) in a_pairs {
+            let b_pairs = std::iter::once((self.primary_lo(j), self.primary_hi(j)))
+                .chain(self.extra[j].iter().map(|z| (z.lo_slice(), z.hi_slice())));
+            for (blo, bhi) in b_pairs {
+                if bounds_neighbor(alo, ahi, blo, bhi) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// The underlay router a live overlay node runs on.
@@ -193,23 +314,18 @@ impl CanOverlay {
     ///
     /// Panics if `id` was never assigned.
     pub fn underlay(&self, id: OverlayNodeId) -> NodeIdx {
-        self.nodes[id.index()].underlay
+        self.underlay[id.index()]
     }
 
-    /// The zone a live node owns.
+    /// The zone a live node owns (its primary zone, materialized from the
+    /// flat bounds array).
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
-    pub fn zone(&self, id: OverlayNodeId) -> Result<&Zone, OverlayError> {
-        let s = self
-            .nodes
-            .get(id.index())
-            .ok_or(OverlayError::UnknownNode(id))?;
-        if !s.alive {
-            return Err(OverlayError::UnknownNode(id));
-        }
-        Ok(s.primary())
+    pub fn zone(&self, id: OverlayNodeId) -> Result<Zone, OverlayError> {
+        self.ensure_live(id)?;
+        Ok(self.primary_zone(id.index()))
     }
 
     /// All zones a live node owns: the primary zone first, then any zones
@@ -218,9 +334,30 @@ impl CanOverlay {
     /// # Errors
     ///
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
-    pub fn zones(&self, id: OverlayNodeId) -> Result<&[Zone], OverlayError> {
-        self.zone(id)?;
-        Ok(&self.nodes[id.index()].zones)
+    pub fn zones(&self, id: OverlayNodeId) -> Result<Vec<Zone>, OverlayError> {
+        self.ensure_live(id)?;
+        let i = id.index();
+        let mut out = Vec::with_capacity(1 + self.extra[i].len());
+        out.push(self.primary_zone(i));
+        out.extend(self.extra[i].iter().cloned());
+        Ok(out)
+    }
+
+    /// `true` if any of `id`'s zones overlaps `query` (open overlap on
+    /// every axis, matching [`Zone::intersects`]) — answered straight from
+    /// the flat bounds, with no zone materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
+    // tao-lint: allow(panic-reachability, reason = "the bounds kernel indexes lo/hi by axis < dims, equal for every node by construction; mismatch is a debug assertion")
+    pub fn zone_intersects(&self, id: OverlayNodeId, query: &Zone) -> Result<bool, OverlayError> {
+        self.ensure_live(id)?;
+        let i = id.index();
+        if bounds_intersect(self.primary_lo(i), self.primary_hi(i), query) {
+            return Ok(true);
+        }
+        Ok(self.extra[i].iter().any(|z| z.intersects(query)))
     }
 
     /// Zone-tree depth of a live node's zone.
@@ -229,8 +366,8 @@ impl CanOverlay {
     ///
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
     pub fn depth(&self, id: OverlayNodeId) -> Result<u32, OverlayError> {
-        self.zone(id)?;
-        Ok(self.nodes[id.index()].depth)
+        self.ensure_live(id)?;
+        Ok(self.depth[id.index()])
     }
 
     /// `true` if live node `id` owns `point` through any of its zones.
@@ -239,8 +376,8 @@ impl CanOverlay {
     ///
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
     pub fn owns_point(&self, id: OverlayNodeId, point: &Point) -> Result<bool, OverlayError> {
-        self.zone(id)?;
-        Ok(self.nodes[id.index()].owns_point(point))
+        self.ensure_live(id)?;
+        Ok(self.node_owns_point(id.index(), point))
     }
 
     /// Minimum torus distance from any of `id`'s zones to `point` (0 when
@@ -250,20 +387,18 @@ impl CanOverlay {
     ///
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
     pub fn distance_to_point(&self, id: OverlayNodeId, point: &Point) -> Result<f64, OverlayError> {
-        self.zone(id)?;
-        Ok(self.nodes[id.index()].distance_to_point(point))
+        self.ensure_live(id)?;
+        Ok(self.node_distance(id.index(), point))
     }
 
-    /// The CAN neighbors of a live node.
+    /// The CAN neighbors of a live node, ascending by id.
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed.
     pub fn neighbors(&self, id: OverlayNodeId) -> Result<Vec<OverlayNodeId>, OverlayError> {
-        self.zone(id)?;
-        let mut v: Vec<OverlayNodeId> = self.nodes[id.index()].neighbors.iter().copied().collect();
-        v.sort();
-        Ok(v)
+        self.ensure_live(id)?;
+        Ok(self.neighbors[id.index()].clone())
     }
 
     /// The owner of `point`.
@@ -274,12 +409,12 @@ impl CanOverlay {
     /// dimensionality.
     pub fn owner(&self, point: &Point) -> OverlayNodeId {
         assert_eq!(point.dims(), self.dims, "dimensionality mismatch");
-        let mut node = self.tree.as_ref().expect("overlay is empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "overlay is empty")
+        let mut at = self.root.expect("overlay is empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "overlay is empty")
         loop {
-            match node {
-                TreeNode::Leaf(id) => return *id,
-                TreeNode::Split { axis, mid, lower, upper } => {
-                    node = if point.coord(*axis) < *mid { lower } else { upper };
+            match self.arena[at as usize] {
+                ArenaNode::Leaf(id) => return id,
+                ArenaNode::Split { axis, mid, lower, upper } => {
+                    at = if point.coord(axis as usize) < mid { lower } else { upper };
                 }
             }
         }
@@ -297,7 +432,7 @@ impl CanOverlay {
     /// Panics if dimensionalities differ.
     pub fn nodes_in(&self, query: &Zone) -> Vec<OverlayNodeId> {
         assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
-        if self.tree.is_none() {
+        if self.root.is_none() {
             return Vec::new();
         }
         match self.index.lookup(query) {
@@ -317,7 +452,7 @@ impl CanOverlay {
     pub fn nodes_in_scan(&self, query: &Zone) -> Vec<OverlayNodeId> {
         assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
         let mut out = Vec::new();
-        if let Some(root) = &self.tree {
+        if let Some(root) = self.root {
             let whole = Zone::whole(self.dims);
             self.collect_in(root, &whole, query, &mut out);
         }
@@ -328,7 +463,7 @@ impl CanOverlay {
     /// Number of live nodes whose zones intersect `query`, without
     /// sorting them.
     pub fn count_in(&self, query: &Zone) -> usize {
-        if self.tree.is_none() {
+        if self.root.is_none() {
             return 0;
         }
         match self.index.lookup(query) {
@@ -347,15 +482,17 @@ impl CanOverlay {
     /// # Panics
     ///
     /// Panics if dimensionalities differ.
+    // tao-lint: allow(panic-reachability, reason = "documented panic on dimensionality mismatch; callers pass boxes derived from this overlay's own zones")
     pub fn sample_in(&self, query: &Zone, rng: &mut impl tao_util::rand::Rng) -> Option<OverlayNodeId> {
         assert_eq!(query.dims(), self.dims, "dimensionality mismatch");
-        let root = self.tree.as_ref()?;
+        let root = self.root?;
         let whole = Zone::whole(self.dims);
-        Self::sample_node(root, &whole, query, rng)
+        self.sample_node(root, &whole, query, rng)
     }
 
     fn sample_node(
-        node: &TreeNode,
+        &self,
+        node: u32,
         bounds: &Zone,
         query: &Zone,
         rng: &mut impl tao_util::rand::Rng,
@@ -363,22 +500,22 @@ impl CanOverlay {
         if !bounds.intersects(query) {
             return None;
         }
-        match node {
-            TreeNode::Leaf(id) => Some(*id),
-            TreeNode::Split { axis, lower, upper, .. } => {
-                let (lz, uz) = bounds.split(*axis);
+        match self.arena[node as usize] {
+            ArenaNode::Leaf(id) => Some(id),
+            ArenaNode::Split { axis, lower, upper, .. } => {
+                let (lz, uz) = bounds.split(axis as usize);
                 let lo_ok = lz.intersects(query);
                 let hi_ok = uz.intersects(query);
                 match (lo_ok, hi_ok) {
                     (true, true) => {
                         if rng.gen_bool(0.5) {
-                            Self::sample_node(lower, &lz, query, rng)
+                            self.sample_node(lower, &lz, query, rng)
                         } else {
-                            Self::sample_node(upper, &uz, query, rng)
+                            self.sample_node(upper, &uz, query, rng)
                         }
                     }
-                    (true, false) => Self::sample_node(lower, &lz, query, rng),
-                    (false, true) => Self::sample_node(upper, &uz, query, rng),
+                    (true, false) => self.sample_node(lower, &lz, query, rng),
+                    (false, true) => self.sample_node(upper, &uz, query, rng),
                     (false, false) => None,
                 }
             }
@@ -387,7 +524,7 @@ impl CanOverlay {
 
     fn collect_in(
         &self,
-        node: &TreeNode,
+        node: u32,
         bounds: &Zone,
         query: &Zone,
         out: &mut Vec<OverlayNodeId>,
@@ -395,10 +532,10 @@ impl CanOverlay {
         if !bounds.intersects(query) {
             return;
         }
-        match node {
-            TreeNode::Leaf(id) => out.push(*id),
-            TreeNode::Split { axis, lower, upper, .. } => {
-                let (lz, uz) = bounds.split(*axis);
+        match self.arena[node as usize] {
+            ArenaNode::Leaf(id) => out.push(id),
+            ArenaNode::Split { axis, lower, upper, .. } => {
+                let (lz, uz) = bounds.split(axis as usize);
                 self.collect_in(lower, &lz, query, out);
                 self.collect_in(upper, &uz, query, out);
             }
@@ -413,31 +550,35 @@ impl CanOverlay {
     /// Panics if the point has the wrong dimensionality.
     pub fn join(&mut self, underlay: NodeIdx, point: Point) -> OverlayNodeId {
         assert_eq!(point.dims(), self.dims, "dimensionality mismatch");
-        let new_id = OverlayNodeId(self.nodes.len() as u32);
-        if self.tree.is_none() {
+        if self.root.is_none() {
             // Bootstrap node owns the whole space.
-            self.nodes.push(NodeState {
-                underlay,
-                zones: vec![Zone::whole(self.dims)],
-                depth: 0,
-                neighbors: DetSet::new(),
-                alive: true,
-            });
-            self.tree = Some(TreeNode::Leaf(new_id));
+            let whole = Zone::whole(self.dims);
+            let new_id = self.push_node(underlay, &whole);
+            self.arena.push(ArenaNode::Leaf(new_id));
+            self.root = Some(0);
             self.live_count = 1;
-            self.index.insert(&Zone::whole(self.dims), new_id);
+            self.index.insert(&whole, new_id);
             return new_id;
         }
 
         let owner = self.owner(&point);
         // Split the specific zone that contains the join point (the owner
-        // may hold extra zones taken over from departed neighbors).
-        let zone_idx = self.nodes[owner.index()]
-            .zones
-            .iter()
-            .position(|z| z.contains(&point))
-            .expect("owner's zones cover the join point"); // tao-lint: allow(no-unwrap-in-lib, reason = "owner's zones cover the join point")
-        let owner_zone = self.nodes[owner.index()].zones[zone_idx].clone();
+        // may hold extra zones taken over from departed neighbors): the
+        // primary zone is checked first, matching the acquisition order.
+        let oi = owner.index();
+        let zone_idx = if bounds_contain(self.primary_lo(oi), self.primary_hi(oi), &point) {
+            0
+        } else {
+            1 + self.extra[oi]
+                .iter()
+                .position(|z| z.contains(&point))
+                .expect("owner's zones cover the join point") // tao-lint: allow(no-unwrap-in-lib, reason = "owner's zones cover the join point")
+        };
+        let owner_zone = if zone_idx == 0 {
+            self.primary_zone(oi)
+        } else {
+            self.extra[oi][zone_idx - 1].clone()
+        };
         // CAN splits in half along the widest axis (ties -> lowest axis),
         // which reproduces round-robin splitting on dyadic zones and stays
         // well-defined for taken-over zones.
@@ -450,33 +591,28 @@ impl CanOverlay {
             (upper, lower)
         };
 
-        self.nodes.push(NodeState {
-            underlay,
-            zones: vec![new_zone.clone()],
-            depth: 0, // recomputed below from geometry
-            neighbors: DetSet::new(),
-            alive: true,
-        });
+        let new_id = self.push_node(underlay, &new_zone);
         self.live_count += 1;
 
         // Update the zone tree: replace the leaf at the join point with a
-        // split.
+        // split over two freshly-allocated arena leaves.
         let mid = (owner_zone.lo(axis) + owner_zone.hi(axis)) / 2.0;
         let (lower_id, upper_id) = if new_zone.lo(axis) > old_zone.lo(axis) {
             (owner, new_id)
         } else {
             (new_id, owner)
         };
-        Self::replace_leaf_at_point(
-            self.tree.as_mut().expect("tree is non-empty"), // tao-lint: allow(no-unwrap-in-lib, reason = "tree is non-empty")
-            &point,
-            TreeNode::Split {
-                axis,
-                mid,
-                lower: Box::new(TreeNode::Leaf(lower_id)),
-                upper: Box::new(TreeNode::Leaf(upper_id)),
-            },
-        );
+        let lower_leaf = self.arena.len() as u32;
+        self.arena.push(ArenaNode::Leaf(lower_id));
+        let upper_leaf = self.arena.len() as u32;
+        self.arena.push(ArenaNode::Leaf(upper_id));
+        let leaf_at = self.leaf_index_at(&point);
+        self.arena[leaf_at as usize] = ArenaNode::Split {
+            axis: axis as u32,
+            mid,
+            lower: lower_leaf,
+            upper: upper_leaf,
+        };
 
         // Update the zone index: the split zone is replaced by its halves.
         self.index.remove(&owner_zone);
@@ -484,51 +620,47 @@ impl CanOverlay {
         self.index.insert(&new_zone, new_id);
 
         // Update owner's zone and both depths.
-        self.nodes[owner.index()].zones[zone_idx] = old_zone;
-        self.nodes[owner.index()].depth = split_depth(self.nodes[owner.index()].primary());
-        self.nodes[new_id.index()].depth = split_depth(self.nodes[new_id.index()].primary());
+        if zone_idx == 0 {
+            self.set_primary(oi, &old_zone);
+        } else {
+            self.extra[oi][zone_idx - 1] = old_zone;
+        }
+        self.depth[oi] = bounds_split_depth(self.primary_lo(oi), self.primary_hi(oi));
+        let ni = new_id.index();
+        self.depth[ni] = bounds_split_depth(self.primary_lo(ni), self.primary_hi(ni));
 
         // Rebuild neighbor sets of the two halves from the owner's previous
         // neighborhood (plus each other).
-        let mut candidates: Vec<OverlayNodeId> = self.nodes[owner.index()]
-            .neighbors
-            .iter()
-            .copied()
-            .collect();
+        let mut candidates: Vec<OverlayNodeId> = self.neighbors[oi].clone();
         candidates.push(owner);
         candidates.push(new_id);
         // Drop all old links to `owner`; they are recomputed below.
         for &c in &candidates {
-            self.nodes[c.index()].neighbors.remove(&owner);
+            link_remove(&mut self.neighbors[c.index()], owner);
         }
-        self.nodes[owner.index()].neighbors.clear();
+        self.neighbors[oi].clear();
         for &a in &[owner, new_id] {
             for &c in &candidates {
                 if a == c {
                     continue;
                 }
-                let adjacent = zones_adjacent(
-                    &self.nodes[a.index()].zones,
-                    &self.nodes[c.index()].zones,
-                );
-                if adjacent {
-                    self.nodes[a.index()].neighbors.insert(c);
-                    self.nodes[c.index()].neighbors.insert(a);
+                if self.nodes_adjacent(a.index(), c.index()) {
+                    link_insert(&mut self.neighbors[a.index()], c);
+                    link_insert(&mut self.neighbors[c.index()], a);
                 }
             }
         }
         new_id
     }
 
-    /// Replaces the leaf whose region contains `point` — O(depth).
-    fn replace_leaf_at_point(node: &mut TreeNode, point: &Point, replacement: TreeNode) {
-        match node {
-            TreeNode::Leaf(_) => *node = replacement,
-            TreeNode::Split { axis, mid, lower, upper } => {
-                if point.coord(*axis) < *mid {
-                    Self::replace_leaf_at_point(lower, point, replacement);
-                } else {
-                    Self::replace_leaf_at_point(upper, point, replacement);
+    /// Arena index of the leaf whose region contains `point` — O(depth).
+    fn leaf_index_at(&self, point: &Point) -> u32 {
+        let mut at = self.root.expect("tree is non-empty"); // tao-lint: allow(no-unwrap-in-lib, reason = "tree is non-empty")
+        loop {
+            match self.arena[at as usize] {
+                ArenaNode::Leaf(_) => return at,
+                ArenaNode::Split { axis, mid, lower, upper } => {
+                    at = if point.coord(axis as usize) < mid { lower } else { upper };
                 }
             }
         }
@@ -548,40 +680,49 @@ impl CanOverlay {
     /// Returns [`OverlayError::UnknownNode`] if `id` is unknown or departed,
     /// and [`OverlayError::LastNode`] if `id` is the only live node.
     pub fn leave(&mut self, id: OverlayNodeId) -> Result<(), OverlayError> {
-        self.zone(id)?;
+        self.ensure_live(id)?;
         if self.live_count == 1 {
             return Err(OverlayError::LastNode);
         }
+        let i = id.index();
         // Pick the smallest-volume neighbor as the taker.
-        let taker = self.nodes[id.index()]
-            .neighbors
+        let taker = self.neighbors[i]
             .iter()
             .copied()
             .min_by(|a, b| {
-                let va: f64 = self.nodes[a.index()].zones.iter().map(Zone::volume).sum();
-                let vb: f64 = self.nodes[b.index()].zones.iter().map(Zone::volume).sum();
+                let va = self.node_volume(a.index());
+                let vb = self.node_volume(b.index());
                 va.total_cmp(&vb).then(a.cmp(b))
             })
             .expect("a live non-last node has at least one neighbor"); // tao-lint: allow(no-unwrap-in-lib, reason = "a live non-last node has at least one neighbor")
 
         // Re-point the departing node's leaf (or leaves, if it had taken
-        // over zones itself) at the taker.
-        if let Some(root) = self.tree.as_mut() {
-            Self::retarget_leaves(root, id, taker);
+        // over zones itself) at the taker. The arena is flat, so this is a
+        // linear relabel pass rather than a pointer-tree recursion.
+        for n in &mut self.arena {
+            if let ArenaNode::Leaf(leaf) = n {
+                if *leaf == id {
+                    *leaf = taker;
+                }
+            }
         }
 
-        // The taker now owns all of the departing node's zones.
-        let departed_zones = std::mem::take(&mut self.nodes[id.index()].zones);
-        for z in &departed_zones {
+        // The taker now owns all of the departing node's zones (primary
+        // first, then its takeovers — the order the old zone list held).
+        let primary = self.primary_zone(i);
+        self.index.reassign(&primary, taker);
+        let departed_extra = std::mem::take(&mut self.extra[i]);
+        for z in &departed_extra {
             self.index.reassign(z, taker);
         }
-        self.nodes[taker.index()].zones.extend(departed_zones);
+        let ti = taker.index();
+        self.extra[ti].push(primary);
+        self.extra[ti].extend(departed_extra);
 
         // The taker inherits the departing node's neighbors.
-        let old_neighbors: Vec<OverlayNodeId> =
-            self.nodes[id.index()].neighbors.iter().copied().collect();
-        for n in &old_neighbors {
-            self.nodes[n.index()].neighbors.remove(&id);
+        let old_neighbors = std::mem::take(&mut self.neighbors[i]);
+        for &n in &old_neighbors {
+            link_remove(&mut self.neighbors[n.index()], id);
         }
         for n in old_neighbors {
             if n == taker {
@@ -589,27 +730,12 @@ impl CanOverlay {
             }
             // Conservative: the taker now owns the departed zone, so every
             // neighbor of that zone becomes a neighbor of the taker.
-            self.nodes[taker.index()].neighbors.insert(n);
-            self.nodes[n.index()].neighbors.insert(taker);
+            link_insert(&mut self.neighbors[ti], n);
+            link_insert(&mut self.neighbors[n.index()], taker);
         }
-        self.nodes[id.index()].neighbors.clear();
-        self.nodes[id.index()].alive = false;
+        self.alive[i] = false;
         self.live_count -= 1;
         Ok(())
-    }
-
-    fn retarget_leaves(node: &mut TreeNode, from: OverlayNodeId, to: OverlayNodeId) {
-        match node {
-            TreeNode::Leaf(id) => {
-                if *id == from {
-                    *id = to;
-                }
-            }
-            TreeNode::Split { lower, upper, .. } => {
-                Self::retarget_leaves(lower, from, to);
-                Self::retarget_leaves(upper, from, to);
-            }
-        }
     }
 
     /// Routes greedily from `source` toward the owner of `target` using only
@@ -628,26 +754,25 @@ impl CanOverlay {
                 got: target.dims(),
             });
         }
-        self.zone(source)?;
+        self.ensure_live(source)?;
         let mut hops = vec![source];
         let mut current = source;
         // Greedy with a visited set: strictly-decreasing progress can fail
         // at zone corners, so permit sideways moves but never revisit.
         let mut visited: DetSet<OverlayNodeId> = DetSet::new();
         visited.insert(source);
-        let limit = 4 * self.nodes.len() + 16;
-        while !self.nodes[current.index()].owns_point(target) {
+        let limit = 4 * self.underlay.len() + 16;
+        while !self.node_owns_point(current.index(), target) {
             if hops.len() > limit {
                 return Err(OverlayError::RoutingStuck { at: current });
             }
-            let next = self.nodes[current.index()]
-                .neighbors
+            let next = self.neighbors[current.index()]
                 .iter()
                 .copied()
                 .filter(|n| !visited.contains(n))
                 .min_by(|a, b| {
-                    let da = self.nodes[a.index()].distance_to_point(target);
-                    let db = self.nodes[b.index()].distance_to_point(target);
+                    let da = self.node_distance(a.index(), target);
+                    let db = self.node_distance(b.index(), target);
                     da.total_cmp(&db).then(a.cmp(b))
                 })
                 .ok_or(OverlayError::RoutingStuck { at: current })?;
@@ -672,7 +797,7 @@ impl CanOverlay {
         }
         let total: f64 = self
             .live_nodes()
-            .map(|id| self.nodes[id.index()].zones.iter().map(Zone::volume).sum::<f64>())
+            .map(|id| self.node_volume(id.index()))
             .sum();
         // Splits move volume and takeovers transfer whole zones, so live
         // zones always tile the space exactly (up to fp accumulation).
@@ -681,18 +806,106 @@ impl CanOverlay {
             "zone volumes must tile the space: {total}"
         );
         for a in self.live_nodes() {
-            for &b in &self.nodes[a.index()].neighbors {
+            for &b in &self.neighbors[a.index()] {
                 assert!(
-                    self.nodes[b.index()].alive,
+                    self.alive[b.index()],
                     "{a} links to departed node {b}"
                 );
                 assert!(
-                    self.nodes[b.index()].neighbors.contains(&a),
+                    self.neighbors[b.index()].binary_search(&a).is_ok(),
                     "neighbor link {a}->{b} is not symmetric"
                 );
             }
         }
     }
+}
+
+/// Inserts `id` into a sorted neighbor list if absent.
+fn link_insert(v: &mut Vec<OverlayNodeId>, id: OverlayNodeId) {
+    if let Err(pos) = v.binary_search(&id) {
+        v.insert(pos, id);
+    }
+}
+
+/// Removes `id` from a sorted neighbor list if present.
+fn link_remove(v: &mut Vec<OverlayNodeId>, id: OverlayNodeId) {
+    if let Ok(pos) = v.binary_search(&id) {
+        v.remove(pos);
+    }
+}
+
+/// `Zone::contains` over raw bound slices (identical arithmetic).
+fn bounds_contain(lo: &[f64], hi: &[f64], p: &Point) -> bool {
+    assert_eq!(p.dims(), lo.len(), "dimensionality mismatch");
+    (0..lo.len()).all(|a| lo[a] <= p.coord(a) && p.coord(a) < hi[a])
+}
+
+/// `Zone::volume` over raw bound slices (identical arithmetic).
+fn bounds_volume(lo: &[f64], hi: &[f64]) -> f64 {
+    (0..lo.len()).map(|a| hi[a] - lo[a]).product()
+}
+
+/// `Zone::distance_to_point` over raw bound slices — the greedy routing
+/// metric, kept arithmetic-for-arithmetic identical so routes (and the
+/// replay fingerprints built on them) match the zone-list layout exactly.
+fn bounds_distance(lo: &[f64], hi: &[f64], p: &Point) -> f64 {
+    assert_eq!(p.dims(), lo.len(), "dimensionality mismatch");
+    let mut sum = 0.0;
+    for a in 0..lo.len() {
+        let c = p.coord(a);
+        if lo[a] <= c && c < hi[a] {
+            continue;
+        }
+        // Direct gaps on either side, and wrapped gaps around the torus.
+        let below = (lo[a] - c).max(0.0);
+        let above = (c - hi[a]).max(0.0);
+        let direct = below.max(above);
+        let wrap_low = 1.0 - c + lo[a]; // going up past 1.0 to reach lo
+        let wrap_high = 1.0 - hi[a] + c; // zone's top wrapping to reach c
+        let d = direct.min(wrap_low).min(wrap_high);
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+/// `Zone::intersects` over raw bound slices: positive-length overlap on
+/// every axis.
+fn bounds_intersect(lo: &[f64], hi: &[f64], query: &Zone) -> bool {
+    debug_assert_eq!(lo.len(), query.dims(), "dimensionality mismatch");
+    (0..lo.len()).all(|a| lo[a] < query.hi(a) && query.lo(a) < hi[a])
+}
+
+/// `Zone::is_neighbor` over raw bound slices: the boxes abut along exactly
+/// one axis (including across the torus seam) and overlap along all others.
+fn bounds_neighbor(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+    debug_assert_eq!(alo.len(), blo.len(), "dimensionality mismatch");
+    let mut abutting = 0;
+    for a in 0..alo.len() {
+        if alo[a] < bhi[a] && blo[a] < ahi[a] {
+            continue; // overlap of positive length on this axis
+        }
+        let abuts = ahi[a] == blo[a]
+            || bhi[a] == alo[a]
+            || (ahi[a] == 1.0 && blo[a] == 0.0)
+            || (bhi[a] == 1.0 && alo[a] == 0.0);
+        if abuts {
+            abutting += 1;
+            if abutting > 1 {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+    abutting == 1
+}
+
+/// Number of binary splits that produced the box from the whole space:
+/// the sum over axes of log2(1/extent), over raw bound slices.
+fn bounds_split_depth(lo: &[f64], hi: &[f64]) -> u32 {
+    (0..lo.len())
+        .map(|a| (-(hi[a] - lo[a]).log2()).round() as u32)
+        .sum()
 }
 
 /// The axis along which `zone` is widest (ties break to the lowest axis) —
@@ -706,19 +919,6 @@ fn widest_axis(zone: &Zone) -> usize {
                 .then(b.cmp(&a)) // prefer the lower axis on ties
         })
         .expect("zones have at least one axis") // tao-lint: allow(no-unwrap-in-lib, reason = "zones have at least one axis")
-}
-
-/// Number of binary splits that produced `zone` from the whole space:
-/// the sum over axes of log2(1/extent).
-fn split_depth(zone: &Zone) -> u32 {
-    (0..zone.dims())
-        .map(|a| (-zone.extent(a).log2()).round() as u32)
-        .sum()
-}
-
-/// `true` if any zone of `a` is a CAN neighbor of any zone of `b`.
-fn zones_adjacent(a: &[Zone], b: &[Zone]) -> bool {
-    a.iter().any(|za| b.iter().any(|zb| za.is_neighbor(zb)))
 }
 
 #[cfg(test)]
@@ -742,7 +942,7 @@ mod tests {
         let a = can.join(NodeIdx(0), Point::new(vec![0.3, 0.3]).unwrap());
         assert_eq!(can.len(), 1);
         assert_eq!(can.owner(&Point::new(vec![0.9, 0.9]).unwrap()), a);
-        assert_eq!(can.zone(a).unwrap(), &Zone::whole(2));
+        assert_eq!(can.zone(a).unwrap(), Zone::whole(2));
     }
 
     #[test]
@@ -792,7 +992,7 @@ mod tests {
                 let geometric = can
                     .zone(a)
                     .unwrap()
-                    .is_neighbor(can.zone(b).unwrap());
+                    .is_neighbor(&can.zone(b).unwrap());
                 let listed = can.neighbors(a).unwrap().contains(&b);
                 assert_eq!(
                     geometric, listed,
@@ -837,7 +1037,7 @@ mod tests {
     fn departure_hands_zone_to_a_neighbor() {
         let mut can = grown_overlay(20, 21);
         let victim = OverlayNodeId(7);
-        let victim_zone = can.zone(victim).unwrap().clone();
+        let victim_zone = can.zone(victim).unwrap();
         let probe = victim_zone.center();
         can.leave(victim).unwrap();
         assert_eq!(can.len(), 19);
@@ -869,6 +1069,16 @@ mod tests {
         let mut can = CanOverlay::new(2).unwrap();
         let a = can.join(NodeIdx(0), Point::new(vec![0.5, 0.5]).unwrap());
         assert_eq!(can.leave(a), Err(OverlayError::LastNode));
+    }
+
+    #[test]
+    fn is_live_tracks_membership() {
+        let mut can = grown_overlay(8, 23);
+        assert!(can.is_live(OverlayNodeId(3)));
+        assert!(!can.is_live(OverlayNodeId(99)));
+        can.leave(OverlayNodeId(3)).unwrap();
+        assert!(!can.is_live(OverlayNodeId(3)));
+        assert!(can.is_live(OverlayNodeId(4)));
     }
 
     #[test]
@@ -963,6 +1173,47 @@ mod tests {
         assert!(OverlayError::DimensionMismatch { expected: 2, got: 3 }
             .to_string()
             .contains("2-d"));
+    }
+
+    #[test]
+    fn bounds_kernels_match_zone_methods() {
+        // The slice kernels must agree with the Zone methods they mirror —
+        // bit-for-bit, since routes compare distances with total_cmp.
+        let mut rng = StdRng::seed_from_u64(29);
+        for d in 2..=4usize {
+            let mut can = CanOverlay::new(d).unwrap();
+            for i in 0..64 {
+                can.join(NodeIdx(i), Point::random(d, &mut rng));
+            }
+            for id in [2u32, 9, 33] {
+                can.leave(OverlayNodeId(id)).unwrap();
+            }
+            let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+            for _ in 0..50 {
+                let p = Point::random(d, &mut rng);
+                for &id in &live {
+                    let zones = can.zones(id).unwrap();
+                    let want_d = zones
+                        .iter()
+                        .map(|z| z.distance_to_point(&p))
+                        .fold(f64::INFINITY, f64::min);
+                    let want_own = zones.iter().any(|z| z.contains(&p));
+                    assert_eq!(can.distance_to_point(id, &p).unwrap().to_bits(), want_d.to_bits());
+                    assert_eq!(can.owns_point(id, &p).unwrap(), want_own);
+                }
+            }
+            for &a in &live {
+                for &b in &live {
+                    if a == b {
+                        continue;
+                    }
+                    let za = can.zones(a).unwrap();
+                    let zb = can.zones(b).unwrap();
+                    let want = za.iter().any(|x| zb.iter().any(|y| x.is_neighbor(y)));
+                    assert_eq!(can.nodes_adjacent(a.index(), b.index()), want);
+                }
+            }
+        }
     }
 
     #[test]

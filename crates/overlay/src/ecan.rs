@@ -9,6 +9,21 @@
 //! (random baseline, global-soft-state lookup, or the ground-truth optimum)
 //! plugs in.
 //!
+//! # Table storage
+//!
+//! An expressway entry is fully determined by the owner's zone plus three
+//! small numbers — the order, the shift axis, and the shift direction — so
+//! tables store exactly that as 8-byte [`CompactEntry`]s in a dense
+//! per-node arena, and [`EcanOverlay::high_order_entries`] materializes the
+//! [`HighOrderEntry`] view (with its `target_box`) on demand. Entries are
+//! materialized against the aligned level recorded when the table was
+//! built, so the boxes they advertise stay stable even if the owner's zone
+//! is later split thinner. A reverse index (who references me as a
+//! representative?) makes [`EcanOverlay::dependents_of`] O(dependents)
+//! instead of a scan over every table, which in turn makes join and
+//! departure maintenance incremental: only the newcomer, the split owner,
+//! and the actual dependents are touched — never the full table set.
+//!
 //! # Example
 //!
 //! ```
@@ -29,8 +44,6 @@
 //! assert!(route.hop_count() <= 64);
 //! ```
 
-use tao_util::det::DetMap;
-
 use tao_util::rand::rngs::StdRng;
 use tao_util::rand::{Rng, SeedableRng};
 use tao_topology::RttOracle;
@@ -39,7 +52,7 @@ use crate::can::{CanOverlay, OverlayError, OverlayNodeId, Route};
 use crate::point::Point;
 use crate::zone::Zone;
 
-/// One expressway routing-table entry.
+/// One expressway routing-table entry, materialized.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HighOrderEntry {
     /// The order of the zone this entry spans (2 = smallest high-order).
@@ -48,6 +61,45 @@ pub struct HighOrderEntry {
     pub target_box: Zone,
     /// The member of `target_box` chosen as representative.
     pub representative: OverlayNodeId,
+}
+
+/// The stored form of an expressway entry: the target box is recomputed
+/// from `(order, axis, dir)` and the owner's zone, so only 8 bytes per
+/// entry live in the table arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CompactEntry {
+    /// Order of the spanned zone (2 = smallest high-order).
+    order: u8,
+    /// Axis the target box is shifted along.
+    axis: u8,
+    /// Shift direction: -1 or +1.
+    dir: i8,
+    /// The representative's node id.
+    rep: u32,
+}
+
+/// A node's expressway table: compact entries plus the aligned level of
+/// the node's zone at build time (materialization anchors to this level,
+/// which stays valid because zones only ever shrink in place).
+#[derive(Debug, Clone, Default)]
+struct NodeTable {
+    built_level: u32,
+    entries: Vec<CompactEntry>,
+}
+
+/// How a selector answers a whole-box representative query — the fast
+/// path that avoids enumerating every member of a huge high-order zone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxSelection {
+    /// Enumerate the box's members and call [`NeighborSelector::select`]
+    /// (the default, and the only option for selectors that must compare
+    /// candidates).
+    Enumerate,
+    /// Use this node, which the selector asserts is a live member of the
+    /// target box other than the querying node.
+    Chosen(OverlayNodeId),
+    /// Leave no entry for this box.
+    Skip,
 }
 
 /// Chooses the representative member of a neighboring high-order zone.
@@ -66,6 +118,20 @@ pub trait NeighborSelector {
         candidates: &[OverlayNodeId],
         can: &CanOverlay,
     ) -> OverlayNodeId;
+
+    /// Picks a representative for `target_box` without a pre-enumerated
+    /// candidate list. The default answers [`BoxSelection::Enumerate`],
+    /// which falls back to [`NeighborSelector::select`]; selectors that
+    /// can choose in O(depth) — e.g. by sampling the box — override this
+    /// so million-node table builds never enumerate half the overlay.
+    fn select_in_box(
+        &mut self,
+        _for_node: OverlayNodeId,
+        _target_box: &Zone,
+        _can: &CanOverlay,
+    ) -> BoxSelection {
+        BoxSelection::Enumerate
+    }
 }
 
 /// Picks a uniformly random candidate — the paper's "random neighbor
@@ -93,6 +159,57 @@ impl NeighborSelector for RandomSelector {
         _can: &CanOverlay,
     ) -> OverlayNodeId {
         candidates[self.rng.gen_range(0..candidates.len())]
+    }
+}
+
+/// The random baseline for overlays too large to enumerate: instead of
+/// listing a box's members and indexing one, it samples the zone tree
+/// directly (O(depth) per pick, zone-count weighted like
+/// [`CanOverlay::sample_in`]). Statistically interchangeable with
+/// [`RandomSelector`] but not stream-identical, so the small-scale paper
+/// figures keep using `RandomSelector`.
+#[derive(Debug, Clone)]
+pub struct SampledRandomSelector {
+    rng: StdRng,
+}
+
+impl SampledRandomSelector {
+    /// Creates a selector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        SampledRandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl NeighborSelector for SampledRandomSelector {
+    fn select(
+        &mut self,
+        _for_node: OverlayNodeId,
+        _target_box: &Zone,
+        candidates: &[OverlayNodeId],
+        _can: &CanOverlay,
+    ) -> OverlayNodeId {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn select_in_box(
+        &mut self,
+        for_node: OverlayNodeId,
+        target_box: &Zone,
+        can: &CanOverlay,
+    ) -> BoxSelection {
+        // A handful of rejection rounds: the only way every draw is
+        // `for_node` itself is a box dominated by its own zones, in which
+        // case skipping matches what candidate enumeration would do.
+        for _ in 0..16 {
+            match can.sample_in(target_box, &mut self.rng) {
+                Some(s) if s != for_node => return BoxSelection::Chosen(s),
+                Some(_) => continue,
+                None => return BoxSelection::Skip,
+            }
+        }
+        BoxSelection::Skip
     }
 }
 
@@ -131,10 +248,18 @@ impl NeighborSelector for ClosestSelector {
 }
 
 /// A CAN overlay plus per-node expressway routing tables.
+///
+/// See the [module documentation](self) for the compact table layout and
+/// the incremental-maintenance contract.
 #[derive(Debug, Clone)]
 pub struct EcanOverlay {
     can: CanOverlay,
-    tables: DetMap<OverlayNodeId, Vec<HighOrderEntry>>,
+    /// Expressway tables, dense by node id (empty for departed nodes and
+    /// nodes joined via [`EcanOverlay::join_unselected`]).
+    tables: Vec<NodeTable>,
+    /// Reverse index: `dependents[r]` lists the owners whose tables name
+    /// `r` as a representative, one push per referencing entry.
+    dependents: Vec<Vec<u32>>,
 }
 
 impl EcanOverlay {
@@ -143,7 +268,8 @@ impl EcanOverlay {
     pub fn build(can: CanOverlay, selector: &mut dyn NeighborSelector) -> Self {
         let mut ecan = EcanOverlay {
             can,
-            tables: DetMap::new(),
+            tables: Vec::new(),
+            dependents: Vec::new(),
         };
         ecan.reselect(selector);
         ecan
@@ -159,26 +285,89 @@ impl EcanOverlay {
         self.can
     }
 
-    /// The expressway entries of `id` (empty for shallow zones).
-    pub fn high_order_entries(&self, id: OverlayNodeId) -> &[HighOrderEntry] {
-        self.tables.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    /// Grows the dense per-id arrays to cover every assigned id.
+    fn grow_arrays(&mut self) {
+        let n = self.can.id_bound();
+        if self.tables.len() < n {
+            self.tables.resize_with(n, NodeTable::default);
+            self.dependents.resize_with(n, Vec::new);
+        }
+    }
+
+    /// Replaces `id`'s table, keeping the reverse index in sync.
+    fn set_table(&mut self, id: OverlayNodeId, table: NodeTable) {
+        self.grow_arrays();
+        let old = std::mem::replace(&mut self.tables[id.index()], table);
+        for e in &old.entries {
+            let deps = &mut self.dependents[e.rep as usize];
+            if let Some(pos) = deps.iter().position(|&d| d == id.0) {
+                deps.swap_remove(pos);
+            }
+        }
+        let reps: Vec<u32> = self.tables[id.index()].entries.iter().map(|e| e.rep).collect();
+        for r in reps {
+            self.dependents[r as usize].push(id.0);
+        }
+    }
+
+    /// Materializes the target box of a stored entry against the level the
+    /// owner's table was built at. The owner's zone may have been split
+    /// thinner since, but it can only have shrunk *in place*, so its centre
+    /// still falls in the same aligned cell and the box is unchanged.
+    fn entry_box(zone: &Zone, built_level: u32, e: &CompactEntry) -> Zone {
+        let level = built_level + 1 - e.order as u32;
+        let side = 0.5f64.powi(level as i32);
+        let my_box = zone.enclosing_aligned_box(level);
+        shifted_box(&my_box, e.axis as usize, e.dir as f64 * side)
+    }
+
+    /// The expressway entries of `id` (empty for shallow zones and
+    /// departed nodes), materialized from the compact table.
+    // tao-lint: allow(panic-reachability, reason = "materialization arithmetic is bounded by built_level anchoring; a level underflow is a table-construction bug the invariant tests pin down")
+    pub fn high_order_entries(&self, id: OverlayNodeId) -> Vec<HighOrderEntry> {
+        let Some(table) = self.tables.get(id.index()) else {
+            return Vec::new();
+        };
+        if table.entries.is_empty() {
+            return Vec::new();
+        }
+        let Ok(zone) = self.can.zone(id) else {
+            return Vec::new();
+        };
+        table
+            .entries
+            .iter()
+            .map(|e| HighOrderEntry {
+                order: e.order as u32,
+                target_box: Self::entry_box(&zone, table.built_level, e),
+                representative: OverlayNodeId(e.rep),
+            })
+            .collect()
     }
 
     /// Recomputes every node's expressway table with a (possibly different)
     /// selector — e.g. after pub/sub notifications triggered re-selection.
+    /// This is the explicit global repair hook; membership changes never
+    /// trigger it (see [`EcanOverlay::join_and_select`] and
+    /// [`EcanOverlay::depart_and_repair`] for the incremental paths).
     pub fn reselect(&mut self, selector: &mut dyn NeighborSelector) {
         let live: Vec<OverlayNodeId> = self.can.live_nodes().collect();
-        self.tables.clear();
+        for t in &mut self.tables {
+            *t = NodeTable::default();
+        }
+        for d in &mut self.dependents {
+            d.clear();
+        }
         for id in live {
-            let entries = self.build_table(id, selector);
-            self.tables.insert(id, entries);
+            let table = self.build_table(id, selector);
+            self.set_table(id, table);
         }
     }
 
     /// Recomputes the expressway table of a single node.
     pub fn reselect_node(&mut self, id: OverlayNodeId, selector: &mut dyn NeighborSelector) {
-        let entries = self.build_table(id, selector);
-        self.tables.insert(id, entries);
+        let table = self.build_table(id, selector);
+        self.set_table(id, table);
     }
 
     /// Joins a new node at `point`, splitting the owner's zone, *without*
@@ -202,7 +391,45 @@ impl EcanOverlay {
         // Drop tables whose entries might now point at a stale zone view:
         // only the former owner's zone changed shape, and representatives
         // remain live members, so existing tables stay usable as-is.
-        self.tables.insert(id, Vec::new());
+        self.set_table(id, NodeTable::default());
+        id
+    }
+
+    /// Joins a new node and maintains every affected table incrementally:
+    /// the newcomer's table is built, the split owner's table is rebuilt
+    /// (its zone halved), and owners whose entries named the split owner
+    /// inside a box it vacated are repaired entry-by-entry. No other
+    /// table is touched — this is the membership path for populations
+    /// where a full [`EcanOverlay::reselect`] is unaffordable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimensionality.
+    // tao-lint: allow(panic-reachability, reason = "documented panic on dimensionality mismatch; table build panics only on corrupted zone bookkeeping the churn invariant tests pin down")
+    pub fn join_and_select(
+        &mut self,
+        underlay: tao_topology::NodeIdx,
+        point: Point,
+        selector: &mut dyn NeighborSelector,
+    ) -> OverlayNodeId {
+        let prev_owner = if self.can.is_empty() {
+            None
+        } else {
+            Some(self.can.owner(&point))
+        };
+        let id = self.can.join(underlay, point);
+        let table = self.build_table(id, selector);
+        self.set_table(id, table);
+        if let Some(owner) = prev_owner {
+            let table = self.build_table(owner, selector);
+            self.set_table(owner, table);
+            // The owner kept only half its zone; entries elsewhere that
+            // advertised it inside the vacated half must be re-pointed.
+            let deps = self.dependents_of(owner);
+            for d in deps {
+                self.repair_entries(d, selector);
+            }
+        }
         id
     }
 
@@ -215,22 +442,104 @@ impl EcanOverlay {
     /// Propagates [`OverlayError`] from [`CanOverlay::leave`].
     pub fn depart(&mut self, id: OverlayNodeId) -> Result<(), OverlayError> {
         self.can.leave(id)?;
-        self.tables.remove(&id);
+        self.set_table(id, NodeTable::default());
         Ok(())
     }
 
+    /// Departs a node and repairs every table that referenced it, entry by
+    /// entry: each dangling entry gets a fresh representative from its
+    /// target box (or is dropped if the box holds no other member). Only
+    /// the actual dependents are touched — no full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OverlayError`] from [`CanOverlay::leave`].
+    // tao-lint: allow(panic-reachability, reason = "repair panics only on corrupted tables; the incremental-churn property test drives every recoverable path")
+    pub fn depart_and_repair(
+        &mut self,
+        id: OverlayNodeId,
+        selector: &mut dyn NeighborSelector,
+    ) -> Result<(), OverlayError> {
+        let deps = self.dependents_of(id);
+        self.depart(id)?;
+        for d in deps {
+            self.repair_entries(d, selector);
+        }
+        Ok(())
+    }
+
+    /// Re-points or drops the entries of `d` whose representative is dead
+    /// or no longer owns space inside the advertised box; sound entries
+    /// are left untouched (and their selector state unconsumed).
+    fn repair_entries(&mut self, d: OverlayNodeId, selector: &mut dyn NeighborSelector) {
+        if !self.can.is_live(d) {
+            return;
+        }
+        let Ok(zone) = self.can.zone(d) else {
+            return;
+        };
+        let (built_level, entries) = {
+            let t = &self.tables[d.index()];
+            (t.built_level, t.entries.clone())
+        };
+        let mut repaired = Vec::with_capacity(entries.len());
+        let mut changed = false;
+        for e in entries {
+            let rep = OverlayNodeId(e.rep);
+            let target_box = Self::entry_box(&zone, built_level, &e);
+            let sound = self.can.is_live(rep)
+                && self
+                    .can
+                    .zone_intersects(rep, &target_box)
+                    .unwrap_or(false);
+            if sound {
+                repaired.push(e);
+                continue;
+            }
+            changed = true;
+            let new_rep = match selector.select_in_box(d, &target_box, &self.can) {
+                BoxSelection::Chosen(r) if r != d && self.can.is_live(r) => Some(r),
+                BoxSelection::Skip => None,
+                _ => {
+                    let mut candidates = self.can.nodes_in(&target_box);
+                    candidates.retain(|&c| c != d);
+                    if candidates.is_empty() {
+                        None
+                    } else {
+                        Some(selector.select(d, &target_box, &candidates, &self.can))
+                    }
+                }
+            };
+            if let Some(r) = new_rep {
+                repaired.push(CompactEntry { rep: r.0, ..e });
+            }
+        }
+        if changed {
+            self.set_table(
+                d,
+                NodeTable {
+                    built_level,
+                    entries: repaired,
+                },
+            );
+        }
+    }
+
     /// Ids of live nodes whose expressway tables reference `id` — the
-    /// subscribers that need re-selection when `id` departs.
+    /// subscribers that need re-selection when `id` departs. Served from
+    /// the reverse index in O(dependents), not by scanning every table.
+    // tao-lint: allow(panic-reachability, reason = "bounds-checked get with an empty-Vec fallback; the panic edge is the approximate name-match on index()")
     pub fn dependents_of(&self, id: OverlayNodeId) -> Vec<OverlayNodeId> {
-        let mut out: Vec<OverlayNodeId> = self
-            .tables
+        let Some(deps) = self.dependents.get(id.index()) else {
+            return Vec::new();
+        };
+        let mut out: Vec<OverlayNodeId> = deps
             .iter()
-            .filter(|(owner, entries)| {
-                **owner != id && entries.iter().any(|e| e.representative == id)
-            })
-            .map(|(owner, _)| *owner)
+            .filter(|&&d| d != id.0)
+            .map(|&d| OverlayNodeId(d))
             .collect();
         out.sort();
+        out.dedup();
         out
     }
 
@@ -240,7 +549,7 @@ impl EcanOverlay {
         let Ok(zone) = self.can.zone(id) else {
             return Vec::new();
         };
-        let base_level = aligned_level(zone);
+        let base_level = aligned_level(&zone);
         // Order-2 zone first (level base_level - 1), whole space excluded.
         (1..base_level)
             .rev()
@@ -252,22 +561,24 @@ impl EcanOverlay {
         &self,
         id: OverlayNodeId,
         selector: &mut dyn NeighborSelector,
-    ) -> Vec<HighOrderEntry> {
-        let mut entries = Vec::new();
+    ) -> NodeTable {
+        let mut table = NodeTable::default();
         let Ok(zone) = self.can.zone(id) else {
-            return entries;
+            return table;
         };
-        let zone = zone.clone();
         let dims = self.can.dims();
         let base_level = aligned_level(&zone);
+        table.built_level = base_level;
         // Order-1 is the node's aligned box at base_level; order-i is the
         // aligned box at base_level - (i - 1). Entries exist for orders 2..;
         // the box at level 0 is the whole space and has no neighbors.
-        let mut order = 2;
+        let mut order = 2u32;
         let mut level = base_level.saturating_sub(1);
+        let mut seen_boxes: Vec<Zone> = Vec::new();
         while level >= 1 {
             let my_box = zone.enclosing_aligned_box(level);
             let side = 0.5f64.powi(level as i32);
+            seen_boxes.clear();
             for axis in 0..dims {
                 for dir in [-1.0f64, 1.0] {
                     let target_box = shifted_box(&my_box, axis, dir * side);
@@ -275,23 +586,29 @@ impl EcanOverlay {
                         continue; // wrapped onto itself (level-1 axis)
                     }
                     // Skip duplicates (± directions can wrap to the same box).
-                    if entries
-                        .iter()
-                        .any(|e: &HighOrderEntry| e.order == order && e.target_box == target_box)
+                    if seen_boxes.iter().any(|b| *b == target_box) {
+                        continue;
+                    }
+                    let representative = match selector.select_in_box(id, &target_box, &self.can)
                     {
-                        continue;
-                    }
-                    let mut candidates = self.can.nodes_in(&target_box);
-                    candidates.retain(|&c| c != id);
-                    if candidates.is_empty() {
-                        continue;
-                    }
-                    let representative =
-                        selector.select(id, &target_box, &candidates, &self.can);
-                    entries.push(HighOrderEntry {
-                        order,
-                        target_box,
-                        representative,
+                        BoxSelection::Chosen(r) if r != id && self.can.is_live(r) => r,
+                        BoxSelection::Skip => continue,
+                        _ => {
+                            let mut candidates = self.can.nodes_in(&target_box);
+                            candidates.retain(|&c| c != id);
+                            if candidates.is_empty() {
+                                continue;
+                            }
+                            selector.select(id, &target_box, &candidates, &self.can)
+                        }
+                    };
+                    debug_assert!(order <= u8::MAX as u32, "order overflows compact entry");
+                    seen_boxes.push(target_box);
+                    table.entries.push(CompactEntry {
+                        order: order as u8,
+                        axis: axis as u8,
+                        dir: if dir < 0.0 { -1 } else { 1 },
+                        rep: representative.0,
                     });
                 }
             }
@@ -301,7 +618,7 @@ impl EcanOverlay {
             level -= 1;
             order += 1;
         }
-        entries
+        table
     }
 
     /// Routes from `source` to the owner of `target` using both default CAN
@@ -322,7 +639,9 @@ impl EcanOverlay {
                 got: target.dims(),
             });
         }
-        self.can.zone(source)?;
+        if !self.can.is_live(source) {
+            return Err(OverlayError::UnknownNode(source));
+        }
         let mut hops = vec![source];
         let mut current = source;
         let mut visited = tao_util::det::DetSet::new();
@@ -334,13 +653,16 @@ impl EcanOverlay {
             }
             let defaults = self.can.neighbors(current)?;
             let express = self
-                .high_order_entries(current)
+                .tables
+                .get(current.index())
+                .map(|t| t.entries.as_slice())
+                .unwrap_or(&[])
                 .iter()
-                .map(|e| e.representative);
+                .map(|e| OverlayNodeId(e.rep));
             let next = defaults
                 .into_iter()
                 .chain(express)
-                .filter(|n| !visited.contains(n) && self.can.zone(*n).is_ok())
+                .filter(|n| !visited.contains(n) && self.can.is_live(*n))
                 .min_by(|a, b| {
                     let da = self
                         .can
@@ -371,7 +693,7 @@ impl EcanOverlay {
     /// description on the first violation:
     ///
     /// * the underlying CAN's invariants (zone tiling, neighbor symmetry);
-    /// * every expressway table belongs to a live node;
+    /// * every non-empty expressway table belongs to a live node;
     /// * every entry has order ≥ 2, a representative that is live, is not
     ///   the owner, and still owns space inside the entry's target box.
     ///
@@ -380,12 +702,16 @@ impl EcanOverlay {
     /// next [`EcanOverlay::reselect`]).
     pub fn check_invariants(&self) {
         self.can.check_invariants();
-        for (&owner, entries) in &self.tables {
+        for i in 0..self.tables.len() {
+            if self.tables[i].entries.is_empty() {
+                continue;
+            }
+            let owner = OverlayNodeId(i as u32);
             assert!(
-                self.can.zone(owner).is_ok(),
+                self.can.is_live(owner),
                 "expressway table belongs to departed node {owner}"
             );
-            for e in entries {
+            for e in self.high_order_entries(owner) {
                 assert!(e.order >= 2, "{owner} has an order-{} entry", e.order);
                 assert_ne!(
                     e.representative, owner,
@@ -563,14 +889,35 @@ mod tests {
     }
 
     #[test]
+    fn sampled_selector_picks_members_of_the_box() {
+        let can = grown_can(128, 2, 41);
+        let ecan = EcanOverlay::build(can, &mut SampledRandomSelector::new(6));
+        let mut total = 0;
+        for id in ecan.can().live_nodes() {
+            for e in ecan.high_order_entries(id) {
+                total += 1;
+                assert_ne!(e.representative, id);
+                let members = ecan.can().nodes_in(&e.target_box);
+                assert!(
+                    members.contains(&e.representative),
+                    "sampled representative {} outside its box",
+                    e.representative
+                );
+            }
+        }
+        assert!(total > 0, "sampled tables must not be empty");
+        ecan.check_invariants();
+    }
+
+    #[test]
     fn reselect_node_changes_only_that_node() {
         let can = grown_can(64, 2, 13);
         let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(5));
         let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
         let target = live[10];
-        let before_other: Vec<_> = ecan.high_order_entries(live[20]).to_vec();
+        let before_other: Vec<_> = ecan.high_order_entries(live[20]);
         ecan.reselect_node(target, &mut RandomSelector::new(999));
-        assert_eq!(ecan.high_order_entries(live[20]), before_other.as_slice());
+        assert_eq!(ecan.high_order_entries(live[20]), before_other);
     }
 
     #[test]
@@ -610,6 +957,66 @@ mod tests {
                 .high_order_entries(d)
                 .iter()
                 .all(|e| e.representative != victim));
+        }
+    }
+
+    #[test]
+    fn dependents_index_matches_a_table_scan() {
+        let can = grown_can(160, 2, 37);
+        let mut ecan = EcanOverlay::build(can, &mut RandomSelector::new(7));
+        // Churn a little so the index sees table replacement too.
+        for id in [4u32, 31, 77] {
+            ecan.depart(OverlayNodeId(id)).unwrap();
+        }
+        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+        ecan.reselect_node(live[3], &mut RandomSelector::new(8));
+        for probe in 0..ecan.can().id_bound() as u32 {
+            let probe = OverlayNodeId(probe);
+            let mut scan: Vec<OverlayNodeId> = live
+                .iter()
+                .copied()
+                .filter(|&o| {
+                    o != probe
+                        && ecan
+                            .high_order_entries(o)
+                            .iter()
+                            .any(|e| e.representative == probe)
+                })
+                .collect();
+            scan.sort();
+            assert_eq!(
+                ecan.dependents_of(probe),
+                scan,
+                "reverse index diverged for {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_join_and_depart_keep_tables_sound() {
+        let can = grown_can(96, 2, 43);
+        let mut sel = RandomSelector::new(11);
+        let mut ecan = EcanOverlay::build(can, &mut sel);
+        let mut rng = StdRng::seed_from_u64(44);
+        // Interleave incremental joins and departures; invariants must hold
+        // after every step with no global reselect.
+        for i in 0..40u32 {
+            if i % 3 == 2 {
+                let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+                let victim = live[rng.gen_range(0..live.len())];
+                ecan.depart_and_repair(victim, &mut sel).unwrap();
+            } else {
+                ecan.join_and_select(NodeIdx(10_000 + i), Point::random(2, &mut rng), &mut sel);
+            }
+            ecan.check_invariants();
+        }
+        // Express routing still reaches owners after pure-incremental churn.
+        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+        for _ in 0..50 {
+            let src = live[rng.gen_range(0..live.len())];
+            let target = Point::random(2, &mut rng);
+            let route = ecan.route_express(src, &target).unwrap();
+            assert_eq!(*route.hops.last().unwrap(), ecan.can().owner(&target));
         }
     }
 
@@ -663,6 +1070,36 @@ mod tests {
                 }
             });
         }
+
+        /// Incremental maintenance and enumeration-free selection agree
+        /// with the invariant checker across random churn schedules.
+        #[test]
+        fn incremental_churn_preserves_invariants() {
+            for_all("incremental_churn_preserves_invariants", 16, |rng| {
+                let n = rng.gen_range(16u32..64);
+                let seed: u64 = rng.gen();
+                let can = grown_can(n, 2, seed);
+                let mut sel = SampledRandomSelector::new(seed ^ 3);
+                let mut ecan = EcanOverlay::build(can, &mut sel);
+                for i in 0..12u32 {
+                    if rng.gen_bool(0.4) && ecan.can().len() > 4 {
+                        let live: Vec<OverlayNodeId> = ecan.can().live_nodes().collect();
+                        let victim = live[rng.gen_range(0..live.len())];
+                        ecan.depart_and_repair(victim, &mut sel).expect("live victim");
+                    } else {
+                        let x = rng.gen_range(0.0f64..1.0);
+                        let y = rng.gen_range(0.0f64..1.0);
+                        ecan.join_and_select(
+                            NodeIdx(50_000 + i),
+                            Point::clamped(vec![x, y]),
+                            &mut sel,
+                        );
+                    }
+                }
+                ecan.check_invariants();
+                check!(ecan.can().len() > 0, "overlay emptied, seed={seed:#x}");
+            });
+        }
     }
 
     #[test]
@@ -676,7 +1113,7 @@ mod tests {
                 assert!(w[1].contains_zone(&w[0]), "high-order zones must nest");
             }
             if let Some(smallest) = zones.first() {
-                assert!(smallest.contains_zone(my_zone));
+                assert!(smallest.contains_zone(&my_zone));
             }
         }
     }

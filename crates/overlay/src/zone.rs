@@ -59,6 +59,27 @@ impl Zone {
         Some(Zone { lo, hi })
     }
 
+    /// Builds a zone from bound slices already known to be valid (used by
+    /// the overlay's flat bounds arrays, which only ever store bounds of
+    /// zones that passed validation when they were created).
+    pub(crate) fn from_slices(lo: &[f64], hi: &[f64]) -> Self {
+        debug_assert!(!lo.is_empty() && lo.len() == hi.len());
+        Zone {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
+    }
+
+    /// The lower bounds as a slice, one entry per axis.
+    pub(crate) fn lo_slice(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// The upper bounds as a slice, one entry per axis.
+    pub(crate) fn hi_slice(&self) -> &[f64] {
+        &self.hi
+    }
+
     /// Dimensionality.
     pub fn dims(&self) -> usize {
         self.lo.len()

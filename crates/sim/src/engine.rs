@@ -7,7 +7,7 @@
 //! timers — mutation of the queue is mediated so handlers cannot observe
 //! half-updated simulator state.
 
-use crate::event::EventQueue;
+use crate::event::{EventQueue, HeapQueue, ScheduledEvent};
 use crate::fault::{FaultPlan, Verdict};
 use crate::stats::NetStats;
 use tao_util::time::{SimDuration, SimTime};
@@ -48,6 +48,45 @@ pub struct Timer<M> {
 enum Pending<M> {
     Deliver(Message<M>),
     Fire(Timer<M>),
+}
+
+/// The simulator's event queue: the timing wheel in production, the binary
+/// heap when [`Simulator::use_heap_oracle`] asks for the determinism oracle
+/// (equivalence tests and before/after benchmarks).
+#[derive(Debug)]
+enum Queue<M> {
+    Wheel(EventQueue<Pending<M>>),
+    Heap(HeapQueue<Pending<M>>),
+}
+
+impl<M> Queue<M> {
+    fn schedule(&mut self, at: SimTime, event: Pending<M>) -> u64 {
+        match self {
+            Queue::Wheel(q) => q.schedule(at, event),
+            Queue::Heap(q) => q.schedule(at, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent<Pending<M>>> {
+        match self {
+            Queue::Wheel(q) => q.pop(),
+            Queue::Heap(q) => q.pop(),
+        }
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            Queue::Wheel(q) => q.next_time(),
+            Queue::Heap(q) => q.next_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(q) => q.len(),
+            Queue::Heap(q) => q.len(),
+        }
+    }
 }
 
 /// Decides the one-way delivery latency between two nodes.
@@ -108,14 +147,6 @@ pub struct Engine<M> {
 }
 
 impl<M> Engine<M> {
-    fn new(now: SimTime) -> Self {
-        Engine {
-            now,
-            outgoing: Vec::new(),
-            timers: Vec::new(),
-        }
-    }
-
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -142,7 +173,7 @@ impl<M> Engine<M> {
 /// structure suits them and borrow it inside the handler.
 #[derive(Debug)]
 pub struct Simulator<M, L> {
-    queue: EventQueue<Pending<M>>,
+    queue: Queue<M>,
     latency: L,
     now: SimTime,
     nodes: usize,
@@ -153,13 +184,18 @@ pub struct Simulator<M, L> {
     /// strictly greater, which is the determinism contract latency ties are
     /// resolved by (insertion order, never heap internals).
     last_event: Option<(SimTime, u64)>,
+    /// Recycled [`Engine`] buffers: handlers run millions of times per
+    /// experiment, and re-allocating two `Vec`s per event dominated the
+    /// step loop's allocator traffic at the 10^6-node scale.
+    scratch_outgoing: Vec<(NodeId, NodeId, M)>,
+    scratch_timers: Vec<(SimDuration, NodeId, M)>,
 }
 
 impl<M, L> Simulator<M, L> {
     /// Creates a simulator with no nodes at time [`SimTime::ORIGIN`].
     pub fn new(latency: L) -> Self {
         Simulator {
-            queue: EventQueue::new(),
+            queue: Queue::Wheel(EventQueue::new()),
             latency,
             now: SimTime::ORIGIN,
             nodes: 0,
@@ -167,7 +203,27 @@ impl<M, L> Simulator<M, L> {
             payload_size: 64,
             faults: None,
             last_event: None,
+            scratch_outgoing: Vec::new(),
+            scratch_timers: Vec::new(),
         }
+    }
+
+    /// Swaps the timing-wheel event queue for the original binary-heap
+    /// implementation — the determinism *oracle*. Runs driven by either
+    /// queue must produce byte-identical delivery logs; equivalence tests
+    /// and the before/after microbenchmarks flip this switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already pending; choose the queue before
+    /// scheduling anything.
+    pub fn use_heap_oracle(&mut self) {
+        assert_eq!(
+            self.queue.len(),
+            0,
+            "use_heap_oracle must be called before any event is scheduled"
+        );
+        self.queue = Queue::Heap(HeapQueue::new());
     }
 
     /// Sets the nominal byte size charged per message for [`NetStats`]
@@ -221,6 +277,7 @@ impl<M, L> Simulator<M, L> {
     /// # Panics
     ///
     /// Panics if `owner` has not been registered.
+    // tao-lint: allow(panic-reachability, reason = "documented panic on an unregistered node; wheel scheduling panics only on a slot-index bug the heap-oracle equivalence tests would catch")
     pub fn set_timer(&mut self, owner: NodeId, delay: SimDuration, payload: M) {
         self.check_node(owner);
         self.queue
@@ -259,6 +316,7 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
     /// # Panics
     ///
     /// Panics if either endpoint has not been registered.
+    // tao-lint: allow(panic-reachability, reason = "documented panic on an unregistered endpoint; delivery scheduling shares set_timer's wheel-slot invariant")
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: M) {
         self.check_node(from);
         self.check_node(to);
@@ -308,14 +366,16 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
     }
 
     /// [`step`](Self::step), but refuses to pop events past `deadline` —
-    /// they stay queued for a later call.
+    /// they stay queued for a later call. The deadline is *inclusive*,
+    /// mirroring the queue's peek: an event is processed iff
+    /// `next_time() <= deadline`.
     fn step_bounded<R>(
         &mut self,
         deadline: SimTime,
         mut on_message: impl FnMut(&mut Engine<M>, NodeId, Message<M>) -> R,
     ) -> Option<R> {
         loop {
-            if self.queue.peek_time()? > deadline {
+            if self.queue.next_time()? > deadline {
                 return None;
             }
             let ev = self.queue.pop().expect("peeked event must pop"); // tao-lint: allow(no-unwrap-in-lib, reason = "peeked event must pop")
@@ -343,15 +403,22 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
                     )
                 }
             };
-            let mut engine = Engine::new(self.now);
+            let mut engine = Engine {
+                now: self.now,
+                outgoing: std::mem::take(&mut self.scratch_outgoing),
+                timers: std::mem::take(&mut self.scratch_timers),
+            };
             let out = on_message(&mut engine, owner, msg);
-            let Engine { outgoing, timers, .. } = engine;
-            for (from, to, payload) in outgoing {
+            let Engine { mut outgoing, mut timers, .. } = engine;
+            for (from, to, payload) in outgoing.drain(..) {
                 self.send(from, to, payload);
             }
-            for (delay, owner, payload) in timers {
+            for (delay, owner, payload) in timers.drain(..) {
                 self.set_timer(owner, delay, payload);
             }
+            // Hand the (drained) buffers back for the next event.
+            self.scratch_outgoing = outgoing;
+            self.scratch_timers = timers;
             return Some(out);
         }
     }
@@ -359,6 +426,13 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
     /// Runs until the queue is empty or virtual time would pass `deadline`;
     /// returns the number of events *delivered* (faulted-away events are
     /// consumed but not counted).
+    ///
+    /// The deadline is **inclusive**: an event stamped exactly `deadline`
+    /// is processed, one stamped a single microsecond later stays queued.
+    /// This matches the queue's peek — the loop stops as soon as
+    /// `next_time() > deadline` — so driving the simulator in fixed windows
+    /// (`run_until(t1); run_until(t2); …`) processes every event exactly
+    /// once with no gap or overlap at the window edges.
     // tao-lint: allow(panic-reachability, reason = "delegates to step(); same heap/clock invariant")
     pub fn run_until(
         &mut self,
@@ -461,9 +535,32 @@ mod tests {
     }
 
     #[test]
+    fn run_until_deadline_is_inclusive() {
+        // Golden boundary test: the deadline instant itself is processed,
+        // one microsecond later is not — the window edge belongs to the
+        // earlier window, exactly once.
+        let mut sim = two_node_sim();
+        sim.set_timer(NodeId(0), SimDuration::from_micros(999), 1);
+        sim.set_timer(NodeId(0), SimDuration::from_micros(1_000), 2);
+        sim.set_timer(NodeId(0), SimDuration::from_micros(1_001), 3);
+        let deadline = SimTime::from_micros(1_000);
+        let mut seen = Vec::new();
+        let n = sim.run_until(deadline, |_, _, m| seen.push(m.payload));
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![1, 2], "the event AT the deadline is included");
+        assert_eq!(sim.now(), deadline, "clock rests on the boundary event");
+        assert_eq!(sim.pending(), 1, "deadline + 1µs stays queued");
+        // The next window picks up exactly where the last one stopped.
+        let n = sim.run_until(SimTime::from_micros(2_000), |_, _, m| seen.push(m.payload));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn closure_latency_model_works() {
         let model = |from: NodeId, to: NodeId| {
-            SimDuration::from_micros((from.0 + to.0) as u64 * 10)
+            let hops = u64::try_from(from.0 + to.0).expect("node ids fit in u64");
+            SimDuration::from_micros(hops) * 10
         };
         let mut sim = Simulator::new(model);
         sim.add_node();

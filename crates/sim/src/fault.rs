@@ -59,7 +59,12 @@ struct Partition {
 
 /// One crash window: the node is down while `down_from <= now < up_at`.
 /// Crash-stop schedules use [`SimTime::MAX`] as `up_at`.
+///
+/// The authoritative record of every scheduled window, in insertion order;
+/// queries go through the per-node `crash_index`, and the test oracle
+/// (`is_down_scan`) replays this list — outside tests only the index reads.
 #[derive(Debug, Clone, Copy)]
+#[cfg_attr(not(test), allow(dead_code))]
 struct CrashWindow {
     node: NodeId,
     down_from: SimTime,
@@ -98,6 +103,10 @@ pub struct FaultPlan {
     jitter: SimDuration,
     partitions: Vec<Partition>,
     crashes: Vec<CrashWindow>,
+    /// Per-node view of `crashes`: the engine asks [`FaultPlan::is_down`]
+    /// once per popped event, so that query must cost O(windows of this
+    /// node), not O(every window in the plan).
+    crash_index: DetMap<NodeId, Vec<(SimTime, SimTime)>>,
 }
 
 impl FaultPlan {
@@ -114,6 +123,7 @@ impl FaultPlan {
             jitter: SimDuration::ZERO,
             partitions: Vec::new(),
             crashes: Vec::new(),
+            crash_index: DetMap::new(),
         }
     }
 
@@ -191,8 +201,9 @@ impl FaultPlan {
         self.crash_recover(node, at, SimTime::MAX)
     }
 
-    /// Schedules a crash-recover: `node` is down while
-    /// `down_from <= now < up_at` and behaves normally afterwards.
+    /// Schedules a crash-recover: `node` is down over the half-open window
+    /// `[down_from, up_at)` — it behaves normally again at the `up_at`
+    /// instant itself — matching the partition convention.
     ///
     /// # Panics
     ///
@@ -200,11 +211,27 @@ impl FaultPlan {
     pub fn crash_recover(&mut self, node: NodeId, down_from: SimTime, up_at: SimTime) -> &mut Self {
         assert!(down_from <= up_at, "node recovers before it crashes");
         self.crashes.push(CrashWindow { node, down_from, up_at });
+        self.crash_index
+            .entry(node)
+            .or_insert_with(Vec::new)
+            .push((down_from, up_at));
         self
     }
 
-    /// True when `node` is inside one of its scheduled crash windows at `at`.
+    /// True when `node` is inside one of its scheduled crash windows at
+    /// `at`. Windows are half-open: down at `down_from`, back up at `up_at`.
     pub fn is_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.crash_index
+            .get(&node)
+            .map_or(false, |windows| {
+                windows.iter().any(|&(down_from, up_at)| down_from <= at && at < up_at)
+            })
+    }
+
+    /// The pre-index `is_down`: a linear scan over every window in the
+    /// plan. Kept as the oracle the per-node index is tested against.
+    #[cfg(test)]
+    fn is_down_scan(&self, node: NodeId, at: SimTime) -> bool {
         self.crashes
             .iter()
             .any(|w| w.node == node && w.down_from <= at && at < w.up_at)
@@ -350,6 +377,64 @@ mod tests {
         assert_eq!(plan.judge(NodeId(0), NodeId(1), t(5)), Verdict::Drop);
         assert_eq!(plan.judge(NodeId(1), NodeId(0), t(5)), Verdict::Drop);
         assert_eq!(plan.rng, before, "structural drops must not touch the RNG");
+    }
+
+    #[test]
+    fn windows_are_half_open_at_both_boundaries() {
+        // [down_from, up_at): down at the first instant, healed at the last.
+        let mut plan = FaultPlan::new(8);
+        plan.crash_recover(NodeId(0), t(100), t(200));
+        plan.partition(&[NodeId(1)], t(100), t(200));
+        // Crash window boundaries.
+        assert!(!plan.is_down(NodeId(0), t(99)));
+        assert!(plan.is_down(NodeId(0), t(100)), "down AT down_from");
+        assert!(plan.is_down(NodeId(0), t(199)));
+        assert!(!plan.is_down(NodeId(0), t(200)), "healed AT up_at");
+        // Partition window boundaries use the same convention.
+        assert!(!plan.partitioned(NodeId(1), NodeId(2), t(99)));
+        assert!(plan.partitioned(NodeId(1), NodeId(2), t(100)));
+        assert!(!plan.partitioned(NodeId(1), NodeId(2), t(200)));
+        // A message sent exactly at the heal instant flows.
+        assert!(matches!(
+            plan.judge(NodeId(0), NodeId(1), t(200)),
+            Verdict::Deliver { .. }
+        ));
+        // One sent exactly at the crash instant does not.
+        assert_eq!(plan.judge(NodeId(0), NodeId(2), t(100)), Verdict::Drop);
+    }
+
+    #[test]
+    fn zero_length_window_never_fires() {
+        let mut plan = FaultPlan::new(9);
+        plan.crash_recover(NodeId(0), t(50), t(50));
+        assert!(!plan.is_down(NodeId(0), t(49)));
+        assert!(!plan.is_down(NodeId(0), t(50)));
+        assert!(!plan.is_down(NodeId(0), t(51)));
+    }
+
+    #[test]
+    fn crash_index_matches_the_linear_scan_oracle() {
+        use tao_util::check::for_all;
+        use tao_util::check_eq;
+        use tao_util::rand::Rng;
+        for_all("crash_index_matches_the_linear_scan_oracle", 128, |rng| {
+            let mut plan = FaultPlan::new(10);
+            for _ in 0..rng.gen_range(0usize..24) {
+                let node = NodeId(rng.gen_range(0..6));
+                let a = rng.gen_range(0u64..1_000);
+                let b = rng.gen_range(0u64..1_000);
+                plan.crash_recover(node, t(a.min(b)), t(a.max(b)));
+            }
+            for _ in 0..64 {
+                let node = NodeId(rng.gen_range(0..8));
+                let probe = rng.gen_range(0u64..1_100);
+                check_eq!(
+                    plan.is_down(node, t(probe)),
+                    plan.is_down_scan(node, t(probe)),
+                    "node {node} at {probe}us"
+                );
+            }
+        });
     }
 
     #[test]

@@ -292,6 +292,7 @@ impl ZoneMap {
     }
 
     /// Iterates over live entries.
+    // tao-lint: allow(panic-reachability, reason = "entry liveness is pure TTL arithmetic; the panic edge is the approximate name-match against the overlay's is_live")
     pub fn live_entries(&self, now: SimTime) -> impl Iterator<Item = &SoftStateEntry> {
         self.entries.values().filter(move |e| e.is_live(now))
     }

@@ -155,7 +155,7 @@ impl GlobalState {
             // of an owner() walk per entry.
             for &h in &hosts {
                 let Ok(zones) = can.zones(h) else { continue };
-                for zone in zones {
+                for zone in &zones {
                     candidates.extend(
                         map.live_entries_in(zone, now)
                             .into_iter()

@@ -92,18 +92,22 @@ impl SimDuration {
         SimDuration(micros)
     }
 
-    /// Creates a span from whole milliseconds.
+    /// Creates a span from whole milliseconds, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000)
+        SimDuration(millis.saturating_mul(1_000))
     }
 
-    /// Creates a span from whole seconds.
+    /// Creates a span from whole seconds, saturating at
+    /// [`SimDuration::MAX`].
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000)
+        SimDuration(secs.saturating_mul(1_000_000))
     }
 
     /// Creates a span from fractional milliseconds, rounding to the nearest
-    /// microsecond. Negative and non-finite inputs clamp to zero.
+    /// microsecond. Negative and non-finite inputs clamp to zero; values
+    /// beyond the representable range clamp to [`SimDuration::MAX`] (the
+    /// float-to-int cast saturates by definition).
     pub fn from_millis_f64(millis: f64) -> Self {
         if !millis.is_finite() || millis <= 0.0 {
             return SimDuration::ZERO;
@@ -137,7 +141,8 @@ impl SimDuration {
     }
 
     /// Multiplies the span by a non-negative float, rounding to the nearest
-    /// microsecond.
+    /// microsecond and clamping to [`SimDuration::MAX`] on overflow (the
+    /// float-to-int cast saturates by definition).
     ///
     /// # Panics
     ///
@@ -150,14 +155,17 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Saturates at [`SimTime::MAX`]: an instant past the end of
+    /// representable time means "never", and wrapping would instead
+    /// schedule the event in the distant past.
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -177,14 +185,16 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// Saturates at [`SimDuration::MAX`] — summed latencies near the top
+    /// of the range clamp rather than wrap to a tiny span.
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -207,8 +217,9 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    /// Saturates at [`SimDuration::MAX`].
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -298,6 +309,29 @@ mod tests {
             SimDuration::from_millis(1).saturating_sub(SimDuration::from_millis(2)),
             SimDuration::ZERO
         );
+    }
+
+    #[test]
+    fn extreme_timestamps_saturate_instead_of_wrapping() {
+        // A timer armed "near the end of time" must stay in the far
+        // future; with wrapping arithmetic it would land near the origin
+        // and fire immediately.
+        let near_end = SimTime::from_micros(u64::MAX - 10);
+        assert_eq!(near_end + SimDuration::from_secs(1), SimTime::MAX);
+        let mut t = near_end;
+        t += SimDuration::MAX;
+        assert_eq!(t, SimTime::MAX);
+
+        assert_eq!(SimDuration::MAX + SimDuration::from_micros(1), SimDuration::MAX);
+        let mut d = SimDuration::from_micros(u64::MAX - 1);
+        d += SimDuration::from_millis(5);
+        assert_eq!(d, SimDuration::MAX);
+
+        assert_eq!(SimDuration::from_micros(u64::MAX / 2) * 3, SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX / 2), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis_f64(1e30), SimDuration::MAX);
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
     }
 
     #[test]

@@ -106,6 +106,33 @@ if [ "$fp1" != "$fp2" ]; then
 fi
 echo "fault determinism: OK ($fp1)"
 
+# Wheel-vs-heap determinism smoke: the canonical lossy scenario must hash
+# identically under the timing wheel and the binary-heap oracle, and the
+# combined line must be stable across processes.
+queue_fingerprint() {
+    cargo test -q --offline -p tao-core --test fault_injection \
+        queue_fingerprint_for_ci -- --nocapture 2>&1 | grep '^QUEUE_FINGERPRINT'
+}
+qfp1=$(queue_fingerprint)
+qfp2=$(queue_fingerprint)
+if [ -z "$qfp1" ]; then
+    echo "FAIL: queue fingerprint test produced no fingerprint line." >&2
+    exit 1
+fi
+if [ "$qfp1" != "$qfp2" ]; then
+    echo "FAIL: wheel/heap fingerprint diverged across processes." >&2
+    echo "  run 1: $qfp1" >&2
+    echo "  run 2: $qfp2" >&2
+    exit 1
+fi
+wheel_digest=$(printf '%s\n' "$qfp1" | sed -nE 's/.*wheel=([0-9a-fx]+).*/\1/p')
+heap_digest=$(printf '%s\n' "$qfp1" | sed -nE 's/.*heap=([0-9a-fx]+).*/\1/p')
+if [ -z "$wheel_digest" ] || [ "$wheel_digest" != "$heap_digest" ]; then
+    echo "FAIL: timing wheel and heap oracle digests differ: $qfp1" >&2
+    exit 1
+fi
+echo "wheel-vs-heap determinism: OK ($qfp1)"
+
 # Smoke: the churn example runs its bonus simulation under a lossy plan.
 cargo run -q --release --offline --example churn_and_pubsub > /dev/null
 echo "faults stage: OK"
@@ -137,6 +164,23 @@ for c in comparisons:
     for key in ("name", "before", "after", "before_median_ns", "after_median_ns", "speedup"):
         assert key in c, f"comparison missing {key!r}: {c}"
 print(f"BENCH_04.json: OK ({len(comparisons)} before/after comparisons)")
+EOF
+# The pinned PR-6 event-queue baseline must parse, keep its shape, and
+# record the ≥5x speedup the timing wheel was landed for.
+python3 - <<'EOF'
+import json
+with open("results/BENCH_06.json") as f:
+    doc = json.load(f)
+comparisons = doc["comparisons"]
+assert comparisons, "BENCH_06.json has no comparisons"
+for c in comparisons:
+    for key in ("name", "before", "after", "before_median_ns", "after_median_ns", "speedup"):
+        assert key in c, f"comparison missing {key!r}: {c}"
+queue = [c for c in comparisons if c["name"].startswith("event_queue")]
+assert queue, "BENCH_06.json records no event_queue comparison"
+best = max(c["speedup"] for c in queue)
+assert best >= 5.0, f"committed event-queue speedup regressed below 5x: {best}"
+print(f"BENCH_06.json: OK ({len(comparisons)} comparisons, best event-queue speedup {best}x)")
 EOF
 echo "perf smoke: OK"
 

@@ -209,9 +209,18 @@ fn routing_resumes_after_partition_heal() {
 /// A fixed fault scenario whose observable outcome (delivery log, final
 /// clock, NetStats) must be identical on every run of every process.
 fn canonical_fault_scenario() -> (Vec<(usize, u32)>, SimTime, tao_sim::NetStats) {
+    canonical_fault_scenario_on(false)
+}
+
+/// The canonical scenario, driven by either event queue: the timing wheel
+/// (production) or the binary-heap determinism oracle.
+fn canonical_fault_scenario_on(heap_oracle: bool) -> (Vec<(usize, u32)>, SimTime, tao_sim::NetStats) {
     const N: usize = 32;
     let mut sim: Simulator<u32, _> =
         Simulator::new(UniformLatency::new(SimDuration::from_millis(7)));
+    if heap_oracle {
+        sim.use_heap_oracle();
+    }
     for _ in 0..N {
         sim.add_node();
     }
@@ -257,10 +266,99 @@ fn same_seed_and_plan_replay_byte_identically_in_process() {
     assert_eq!(stats.partition_epochs(), 1);
 }
 
+#[test]
+fn wheel_and_heap_oracle_replay_identically_under_faults() {
+    let wheel = canonical_fault_scenario_on(false);
+    let heap = canonical_fault_scenario_on(true);
+    assert_eq!(
+        wheel, heap,
+        "timing wheel and heap oracle must produce byte-identical fault runs"
+    );
+}
+
+/// Engine-level queue equivalence under randomized lossy schedules: the
+/// delivery log, final clock, and stats must not depend on which queue
+/// implementation drives the run — the `(time, seq)` contract, observed
+/// through the whole fault pipeline rather than the queue in isolation.
+#[test]
+fn random_faulty_schedules_are_queue_agnostic() {
+    for_all("random_faulty_schedules_are_queue_agnostic", 48, |rng| {
+        let plan_seed: u64 = rng.gen();
+        let drop = rng.gen_range(0.0..0.4);
+        let jitter_us = rng.gen_range(0u64..20_000);
+        let sends: Vec<(usize, usize, u32)> = (0..rng.gen_range(1usize..40))
+            .map(|_| (rng.gen_range(0..8), rng.gen_range(0..8), rng.gen_range(0..50)))
+            .collect();
+        let run = |heap_oracle: bool| {
+            let mut sim: Simulator<u32, _> =
+                Simulator::new(UniformLatency::new(SimDuration::from_millis(3)));
+            if heap_oracle {
+                sim.use_heap_oracle();
+            }
+            for _ in 0..8 {
+                sim.add_node();
+            }
+            let mut plan = FaultPlan::new(plan_seed);
+            plan.drop_probability(drop)
+                .duplicate_probability(0.1)
+                .jitter(SimDuration::from_micros(jitter_us))
+                .crash_recover(
+                    NodeId(5),
+                    SimTime::from_micros(4_000),
+                    SimTime::from_micros(40_000),
+                );
+            sim.set_fault_plan(plan);
+            for &(a, b, p) in &sends {
+                sim.send(NodeId(a), NodeId(b), p);
+            }
+            let mut log = Vec::new();
+            while sim
+                .step(|engine, at, msg| {
+                    log.push((at.0, msg.payload));
+                    if msg.payload % 5 == 0 && msg.payload < 200 {
+                        engine.send(at, msg.from, msg.payload + 1);
+                        engine.set_timer(at, SimDuration::from_micros(1_500), msg.payload + 2);
+                    }
+                })
+                .is_some()
+            {}
+            (log, sim.now(), sim.stats())
+        };
+        let wheel = run(false);
+        let heap = run(true);
+        check!(
+            wheel == heap,
+            "queue implementations diverged (seed={plan_seed:#x})"
+        );
+    });
+}
+
 /// Prints a one-line fingerprint of the canonical scenario. `scripts/ci.sh`
 /// runs this test in two separate processes (with `--nocapture`) and diffs
 /// the lines — the cross-process half of the determinism guarantee, i.e.
 /// the same seed + plan produce byte-identical `NetStats` everywhere.
+/// Prints one fingerprint per queue implementation for the canonical lossy
+/// scenario. `scripts/ci.sh` greps the line and checks the two digests are
+/// equal (wheel-vs-heap determinism smoke) and stable across processes.
+#[test]
+fn queue_fingerprint_for_ci() {
+    let digest_of = |log: &[(usize, u32)]| -> u64 {
+        log.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &(node, payload)| {
+            (h ^ (node as u64 ^ ((payload as u64) << 32))).wrapping_mul(0x100_0000_01b3)
+        })
+    };
+    let (wheel_log, wheel_now, _) = canonical_fault_scenario_on(false);
+    let (heap_log, heap_now, _) = canonical_fault_scenario_on(true);
+    let wheel = digest_of(&wheel_log);
+    let heap = digest_of(&heap_log);
+    println!(
+        "QUEUE_FINGERPRINT wheel={wheel:#018x} heap={heap:#018x} now={}",
+        wheel_now.as_micros()
+    );
+    assert_eq!(wheel, heap, "wheel and heap digests must match");
+    assert_eq!(wheel_now, heap_now);
+}
+
 #[test]
 fn fault_fingerprint_for_ci() {
     let (log, now, stats) = canonical_fault_scenario();
