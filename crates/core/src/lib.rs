@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod chord_aware;
+pub mod churn;
 pub mod experiment;
 pub mod pastry_aware;
 mod load;

@@ -617,6 +617,14 @@ fn layering_findings(file: &SourceFile, code: &[&Token]) -> Vec<Finding> {
 
 /// `seed-discipline`: every `seed_from_u64(…)` argument must be built
 /// from literals, parameters, and seed-derivation arithmetic only.
+///
+/// An argument expression *anchored on a seed* — any identifier containing
+/// `seed`, such as `op_seed(master, index)` or `self.master_seed` — may
+/// additionally mix in benign helper calls (`domain.len()`, casts, …): the
+/// per-op seeds the parallel churn executor derives from
+/// `(master seed, op index)` are exactly this shape, and they replay
+/// bit-identically by construction. Denied identifiers (wall clocks,
+/// entropy, pointers) are flagged even when a seed anchor is present.
 fn seed_findings(
     file: &SourceFile,
     code: &[&Token],
@@ -638,6 +646,30 @@ fn seed_findings(
         }
         if in_test(t.line) {
             continue;
+        }
+        // First pass over the balanced parens: is the argument anchored
+        // on a seed-named identifier anywhere?
+        let mut depth = 0i32;
+        let mut k = i + 1;
+        let mut seed_anchored = false;
+        while k < code.len() {
+            match code[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k > i + 1
+                && code[k].kind == TokenKind::Ident
+                && code[k].text.contains("seed")
+            {
+                seed_anchored = true;
+            }
+            k += 1;
         }
         // Walk the argument tokens inside the balanced parens.
         let mut depth = 0i32;
@@ -662,6 +694,7 @@ fn seed_findings(
                     break;
                 }
                 if is_call
+                    && !seed_anchored
                     && !text.contains("seed")
                     && !SEED_ALLOWED_CALLS.contains(&text)
                     && !text.chars().next().is_some_and(|c| c.is_ascii_digit())
@@ -1062,6 +1095,35 @@ mod tests {
             .filter(|r| r.starts_with("seed-discipline"))
             .collect();
         assert_eq!(rules, vec!["seed-discipline:2", "seed-discipline:3"]);
+    }
+
+    #[test]
+    fn seed_discipline_accepts_seed_anchored_derivations() {
+        // Per-op seeds mix a master seed with batch geometry: helper calls
+        // like `len()` are fine once the expression is anchored on a
+        // seed-named identifier — but wall clocks stay flagged.
+        let report = ws(vec![(
+            "crates/sim/src/s.rs",
+            "tao-sim",
+            FileKind::Lib,
+            "fn a(&self, domain: &[u8], i: usize) {\n\
+                 let _ = StdRng::seed_from_u64(op_seed(self.seed, (domain.len() + i) as u64));\n\
+             }\n\
+             fn b(&self, domain: &[u8]) {\n\
+                 let _ = StdRng::seed_from_u64(self.master_seed ^ domain.len() as u64);\n\
+             }\n\
+             fn c(&self, domain: &[u8]) {\n\
+                 let _ = StdRng::seed_from_u64(self.master_seed ^ now());\n\
+             }\n\
+             fn d(&self, domain: &[u8]) {\n\
+                 let _ = StdRng::seed_from_u64(domain.len() as u64);\n\
+             }\n",
+        )]);
+        let rules: Vec<String> = ws_rules(&report)
+            .into_iter()
+            .filter(|r| r.starts_with("seed-discipline"))
+            .collect();
+        assert_eq!(rules, vec!["seed-discipline:8", "seed-discipline:11"]);
     }
 
     #[test]

@@ -133,8 +133,11 @@ pub struct EventQueue<E> {
     live: usize,
     /// Tombstones for cancelled-but-not-yet-drained sequence numbers.
     cancelled: DetSet<u64>,
-    /// `(tick, seq)` of the last physically consumed entry (delivered or
-    /// tombstone-skipped); used to refuse cancelling already-popped events.
+    /// `(tick, seq)` of the last *delivered* entry; used to refuse
+    /// cancelling already-popped events. Tombstone drains deliberately do
+    /// not advance it — they are compaction, not consumption — which keeps
+    /// cancel verdicts identical between the wheel (which compacts
+    /// eagerly) and the heap oracle (which compacts at the top).
     last_consumed: Option<(u64, u64)>,
 }
 
@@ -172,21 +175,76 @@ impl<E> EventQueue<E> {
     /// is now cancelled, `false` if it was never issued, already popped, or
     /// already cancelled. (An event scheduled behind an already-popped
     /// instant may be conservatively refused.)
+    ///
+    /// Entries resident in a wheel slot or in the drained current tick are
+    /// removed *physically*, so heavy cancellation leaves no tombstones
+    /// behind; only entries buried in the `past`/`overflow` heaps (where
+    /// removal would be O(n)) are tombstoned, which bounds the tombstone
+    /// set by the number of *pending* heap entries instead of the number
+    /// of cancellations ever issued.
+    // tao-lint: allow(panic-reachability, reason = "slot index is level*64+slot with slot = tick & 63, always in bounds by construction")
     pub fn cancel(&mut self, at: SimTime, seq: u64) -> bool {
         if seq >= self.next_seq {
             return false;
         }
-        if self
-            .last_consumed
-            .map_or(false, |last| (at.as_micros(), seq) <= last)
+        let at_us = at.as_micros();
+        if self.last_consumed.map_or(false, |last| (at_us, seq) <= last) {
+            return false;
+        }
+        if self.cancelled.contains(&seq) {
+            return false;
+        }
+        // Drained current tick: sorted by `seq`, so binary search.
+        if !self.current.is_empty() && at_us == self.current_tick {
+            if let Ok(i) = self.current.binary_search_by_key(&seq, |e| e.seq) {
+                self.current.remove(i);
+                self.live -= 1;
+                return true;
+            }
+        }
+        // Wheel slots: at every level, the slot an entry with firing tick
+        // `at` could occupy is `(at >> 6l) & 63` — `place` derives it from
+        // the tick alone — so six targeted scans cover the whole wheel.
+        if at_us >= self.cursor && at_us - self.cursor < HORIZON {
+            for l in 0..LEVELS {
+                let shift = LEVEL_BITS * l as u32;
+                let s = ((at_us >> shift) & (SLOTS as u64 - 1)) as usize;
+                if self.occupied[l] & (1u64 << s) == 0 {
+                    continue;
+                }
+                let i = l * SLOTS + s;
+                if let Some(j) = self.slots[i].iter().position(|e| e.seq == seq) {
+                    self.slots[i].swap_remove(j);
+                    if self.slots[i].is_empty() {
+                        self.occupied[l] &= !(1u64 << s);
+                    }
+                    self.live -= 1;
+                    return true;
+                }
+            }
+        }
+        // Heap residents (behind the cursor or beyond the horizon): a
+        // binary heap cannot remove an interior entry cheaply, so these
+        // keep the tombstone path. The overflow pull in `refill` drops
+        // tombstoned entries instead of re-placing them.
+        if self.past.iter().any(|Reverse(e)| e.seq == seq)
+            || self.overflow.iter().any(|Reverse(e)| e.seq == seq)
         {
-            return false;
+            self.cancelled.insert(seq);
+            self.live -= 1;
+            return true;
         }
-        if !self.cancelled.insert(seq) {
-            return false;
-        }
-        self.live -= 1;
-        true
+        // Not physically present: the event was already consumed (or its
+        // tombstone already compacted away). Refuse, so double cancels
+        // stay refused even after compaction removed the tombstone.
+        false
+    }
+
+    /// Number of cancelled-but-not-yet-compacted tombstones currently held.
+    /// Bounded by the number of pending `past`/`overflow` heap entries —
+    /// the memory-linear guarantee the cancel-heavy regression test pins.
+    pub fn tombstones(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is empty.
@@ -197,10 +255,10 @@ impl<E> EventQueue<E> {
                 return None;
             }
             if let Some(Reverse(e)) = self.past.pop() {
-                self.last_consumed = Some((e.at, e.seq));
                 if self.cancelled.remove(&e.seq) {
                     continue;
                 }
+                self.last_consumed = Some((e.at, e.seq));
                 self.live -= 1;
                 return Some(ScheduledEvent {
                     at: SimTime::from_micros(e.at),
@@ -215,10 +273,10 @@ impl<E> EventQueue<E> {
             let Some(e) = self.current.pop_front() else {
                 continue;
             };
-            self.last_consumed = Some((e.at, e.seq));
             if self.cancelled.remove(&e.seq) {
                 continue;
             }
+            self.last_consumed = Some((e.at, e.seq));
             self.live -= 1;
             return Some(ScheduledEvent {
                 at: SimTime::from_micros(e.at),
@@ -239,10 +297,9 @@ impl<E> EventQueue<E> {
             }
             while let Some(Reverse(e)) = self.past.peek() {
                 if self.cancelled.contains(&e.seq) {
-                    let key = (e.at, e.seq);
+                    let seq = e.seq;
                     self.past.pop();
-                    self.cancelled.remove(&key.1);
-                    self.last_consumed = Some(key);
+                    self.cancelled.remove(&seq);
                 } else {
                     return Some(SimTime::from_micros(e.at));
                 }
@@ -253,10 +310,9 @@ impl<E> EventQueue<E> {
             }
             while let Some(e) = self.current.front() {
                 if self.cancelled.contains(&e.seq) {
-                    let key = (e.at, e.seq);
+                    let seq = e.seq;
                     self.current.pop_front();
-                    self.cancelled.remove(&key.1);
-                    self.last_consumed = Some(key);
+                    self.cancelled.remove(&seq);
                 } else {
                     return Some(SimTime::from_micros(e.at));
                 }
@@ -335,6 +391,15 @@ impl<E> EventQueue<E> {
                     break;
                 }
                 if let Some(Reverse(e)) = self.overflow.pop() {
+                    // Compact: a tombstoned overflow entry is dropped here
+                    // instead of re-entering the wheel, so wheel slots never
+                    // hold cancelled entries (cancel removes slot residents
+                    // physically) and the tombstone set stays bounded by the
+                    // pending heap entries. `last_consumed` is untouched —
+                    // this is compaction, not consumption.
+                    if !self.cancelled.is_empty() && self.cancelled.remove(&e.seq) {
+                        continue;
+                    }
                     self.place(e);
                 }
             }
@@ -504,9 +569,16 @@ impl<E> HeapQueue<E> {
         {
             return false;
         }
-        if !self.cancelled.insert(seq) {
+        if self.cancelled.contains(&seq) {
             return false;
         }
+        // Refuse entries no longer physically in the heap (already drained
+        // as tombstones), mirroring the wheel's presence check — O(n), but
+        // the heap is the test oracle, not the production queue.
+        if !self.heap.iter().any(|Reverse(e)| e.seq == seq) {
+            return false;
+        }
+        self.cancelled.insert(seq);
         self.live -= 1;
         true
     }
@@ -518,10 +590,10 @@ impl<E> HeapQueue<E> {
                 return None;
             }
             let Reverse(e) = self.heap.pop()?;
-            self.last_consumed = Some((e.at, e.seq));
             if self.cancelled.remove(&e.seq) {
                 continue;
             }
+            self.last_consumed = Some((e.at, e.seq));
             self.live -= 1;
             return Some(ScheduledEvent {
                 at: SimTime::from_micros(e.at),
@@ -540,10 +612,9 @@ impl<E> HeapQueue<E> {
             }
             let Reverse(e) = self.heap.peek()?;
             if self.cancelled.contains(&e.seq) {
-                let key = (e.at, e.seq);
+                let seq = e.seq;
                 self.heap.pop();
-                self.cancelled.remove(&key.1);
-                self.last_consumed = Some(key);
+                self.cancelled.remove(&seq);
                 continue;
             }
             return Some(SimTime::from_micros(e.at));
@@ -571,6 +642,14 @@ impl<E> HeapQueue<E> {
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Number of cancelled-but-not-yet-drained tombstones. Unlike
+    /// [`EventQueue::tombstones`], the heap oracle keeps a tombstone until
+    /// the cursor physically reaches the entry — the simple behavior the
+    /// wheel's compaction is measured against.
+    pub fn tombstones(&self) -> usize {
+        self.cancelled.len()
     }
 }
 
@@ -743,6 +822,84 @@ mod tests {
         let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
         assert_eq!(order, vec!['b', 'c']);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_heavy_rearm_schedule_leaves_no_tombstones() {
+        // The classic timeout-rearm pattern: every tick, cancel the pending
+        // timer and schedule a fresh one. Before tombstone compaction the
+        // `cancelled` set grew by one entry per rearm (100_000 tombstones
+        // here); with physical slot removal it must stay empty, and the
+        // queue must hold exactly the live timer.
+        let mut q = EventQueue::new();
+        let mut pending = None;
+        let mut now = 0u64;
+        for i in 0..100_000u64 {
+            if let Some((at, seq)) = pending.take() {
+                assert!(q.cancel(at, seq), "rearm cancel must succeed at iter {i}");
+            }
+            let at = SimTime::from_micros(now + 50 + (i * 37) % 4_000);
+            let seq = q.schedule(at, i);
+            pending = Some((at, seq));
+            assert_eq!(q.tombstones(), 0, "slot cancels must compact eagerly");
+            assert_eq!(q.len(), 1);
+            // Occasionally fire the timer to move the cursor forward.
+            if i % 64 == 63 {
+                let e = q.pop().expect("timer pending");
+                now = e.at.as_micros();
+                pending = None;
+            }
+        }
+        assert!(q.tombstones() == 0 && q.len() <= 1);
+    }
+
+    #[test]
+    fn overflow_tombstones_compact_at_the_pull_and_stay_refused() {
+        let mut q = EventQueue::new();
+        // Far-future entries land in the overflow heap; cancelling them
+        // must tombstone (heaps cannot remove interior entries cheaply)...
+        let far: Vec<(SimTime, u64)> = (0..32)
+            .map(|i| {
+                let at = SimTime::from_micros(HORIZON + 10 + i);
+                (at, q.schedule(at, i))
+            })
+            .collect();
+        for &(at, seq) in far.iter().take(16) {
+            assert!(q.cancel(at, seq));
+        }
+        assert_eq!(q.tombstones(), 16, "overflow cancels tombstone");
+        assert_eq!(q.len(), 16);
+        // ...and the pull that brings the survivors into the wheel drops
+        // every tombstoned entry without consuming it.
+        let mut popped = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.at >= SimTime::from_micros(HORIZON + 10 + 16));
+            popped += 1;
+        }
+        assert_eq!(popped, 16);
+        assert_eq!(q.tombstones(), 0, "pull must compact overflow tombstones");
+        // Compaction must not resurrect cancellability: a second cancel of
+        // a compacted entry still refuses.
+        for &(at, seq) in far.iter().take(16) {
+            assert!(!q.cancel(at, seq), "double cancel after compaction");
+        }
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancelling_a_current_tick_entry_removes_it_physically() {
+        let mut q = EventQueue::new();
+        let at = SimTime::from_micros(5);
+        q.schedule(at, 'a');
+        let b = q.schedule(at, 'b');
+        q.schedule(at, 'c');
+        // Drain tick 5 into `current` without consuming anything.
+        assert_eq!(q.next_time(), Some(at));
+        assert!(q.cancel(at, b), "current-tick entry must be cancellable");
+        assert_eq!(q.tombstones(), 0, "current-tick cancel is physical");
+        assert_eq!(q.pop().unwrap().event, 'a');
+        assert_eq!(q.pop().unwrap().event, 'c');
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Conflict-DAG construction and wavefront leveling.
+//!
+//! Given one [`Footprint`] per pending churn operation (in batch
+//! order), [`ConflictDag::build`] adds an edge `j -> i` for every
+//! conflicting pair with `j < i`.  Because edges always point from a
+//! lower batch index to a higher one, the graph is acyclic by
+//! construction, and the serial order is one of its topological
+//! orders.
+//!
+//! [`ConflictDag::levels`] does **not** use plain longest-path
+//! leveling.  That would be unsound for a prepare/commit executor that
+//! commits in strict batch order: with conflicts `{0-1, 1-2, 3-4}`,
+//! longest-path puts op 4 in level 1 alongside op 1, but when level 1
+//! is prepared the commit pointer is still behind op 3 (level 0 only
+//! commits the prefix `0`), so op 4 would prepare without seeing op
+//! 3's commit.  Instead, levels are *commit-prefix wavefronts*: a wave
+//! contains every not-yet-prepared op all of whose conflict
+//! predecessors lie below the current commit pointer, and after the
+//! wave the pointer advances over the contiguous prepared prefix.
+//! Waves are still antichains (a conflicting predecessor at or beyond
+//! the pointer is unprepared or uncommitted, blocking eligibility) and
+//! the op at the pointer is always eligible, so the loop always makes
+//! progress.
+
+use tao_util::det::DetMap;
+use tao_util::footprint::Footprint;
+use tao_util::par::par_map;
+
+/// Box-test prefilter: a constant-size bounding box per footprint, so
+/// the `O(n^2)` build pays the full pairwise multi-box overlap test
+/// only when the bounding boxes touch.  (Id-set intersection is always
+/// tested exactly — the sorted-slice merge is already cheap.)
+///
+/// The summary can prove *non*-overlap, never overlap: disjoint
+/// bounding boxes prove every box pair disjoint (same-dimensional
+/// boxes only — mismatched dimensionalities conservatively overlap, as
+/// in [`tao_util::footprint::FootBox::overlaps`]).
+#[derive(Debug, Clone, Copy)]
+struct Summary {
+    global: bool,
+    /// Bounding box over the footprint's boxes, when it has any and
+    /// they share one dimensionality (`dims > 0`).
+    dims: usize,
+    lo: [f64; Summary::MAX_DIMS],
+    hi: [f64; Summary::MAX_DIMS],
+    /// True when the footprint holds boxes the bounding box does not
+    /// cover (mixed or oversized dimensionalities) — box tests must
+    /// then always run in full.
+    unbounded_boxes: bool,
+}
+
+impl Summary {
+    const MAX_DIMS: usize = 8;
+
+    fn of(fp: &Footprint) -> Self {
+        let mut s = Summary {
+            global: fp.is_global(),
+            dims: 0,
+            lo: [f64::INFINITY; Self::MAX_DIMS],
+            hi: [f64::NEG_INFINITY; Self::MAX_DIMS],
+            unbounded_boxes: false,
+        };
+        for b in fp.boxes() {
+            let d = b.dims();
+            if d > Self::MAX_DIMS || (s.dims != 0 && s.dims != d) {
+                s.unbounded_boxes = true;
+                continue;
+            }
+            s.dims = d;
+            for axis in 0..d {
+                s.lo[axis] = s.lo[axis].min(b.lo(axis));
+                s.hi[axis] = s.hi[axis].max(b.hi(axis));
+            }
+        }
+        s
+    }
+
+    /// True when some box pair might overlap (or either side is
+    /// global) and the full box test must run; false proves all box
+    /// pairs disjoint.
+    fn boxes_may_overlap(&self, other: &Summary) -> bool {
+        if self.global || other.global {
+            return true;
+        }
+        if self.unbounded_boxes || other.unbounded_boxes {
+            return self.has_boxes() && other.has_boxes();
+        }
+        if !self.has_boxes() || !other.has_boxes() {
+            return false;
+        }
+        if self.dims != other.dims {
+            // Mismatched dimensionalities conservatively overlap.
+            return true;
+        }
+        (0..self.dims).all(|a| self.lo[a] <= other.hi[a] && other.lo[a] <= self.hi[a])
+    }
+
+    fn has_boxes(&self) -> bool {
+        self.dims != 0 || self.unbounded_boxes
+    }
+}
+
+/// Dependency DAG over a batch of churn operations.
+#[derive(Debug, Clone)]
+pub struct ConflictDag {
+    n: usize,
+    preds: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+/// Cells per axis of the candidate grid (4,096 cells in 2-D).
+const GRID: usize = 64;
+
+/// Clamped grid coordinate of `x` (coordinates outside `[0, 1)` land
+/// in the edge cells, which is conservative).
+fn grid_coord(x: f64) -> usize {
+    ((x * GRID as f64) as isize).clamp(0, GRID as isize - 1) as usize
+}
+
+impl ConflictDag {
+    /// Builds the DAG from per-operation footprints.
+    ///
+    /// A naive build tests all `O(n^2)` pairs, which dominates batch
+    /// wall-clock long before the executor itself does.  Instead,
+    /// candidate pairs are generated near-linearly from two inverted
+    /// indexes — an id-bucket map (ops sharing an identifier) and a
+    /// uniform grid over bounding boxes (ops whose boxes could touch) —
+    /// and only candidates pay the exact conflict test.  Both indexes
+    /// over-approximate, and verification is exact, so the resulting
+    /// edge set is identical to the naive build's.
+    pub fn build(footprints: &[Footprint]) -> Self {
+        Self::build_with_workers(footprints, 1)
+    }
+
+    /// [`ConflictDag::build`] with the per-vertex candidate
+    /// verifications fanned out over `workers` threads. Each vertex's
+    /// predecessor list depends only on the (immutable) footprints, so
+    /// the result is identical for any worker count.
+    // tao-lint: allow(panic-reachability, reason = "indexes footprints by j < i < len only")
+    pub fn build_with_workers(footprints: &[Footprint], workers: usize) -> Self {
+        let n = footprints.len();
+        let summaries: Vec<Summary> = footprints.iter().map(Summary::of).collect();
+
+        // Reference dimensionality of the spatial grid: boxes of any
+        // other dimensionality go on the broad list (mismatched dims
+        // conservatively overlap everything in the box channel).  The
+        // grid projects onto the first two axes — a projection overlap
+        // is necessary for a full overlap, so candidates are a
+        // superset.
+        let ref_dims = summaries
+            .iter()
+            .find(|s| s.dims != 0)
+            .map(|s| s.dims)
+            .unwrap_or(0);
+        let axes = ref_dims.min(2);
+        let cell_count = GRID.pow(axes as u32).max(1);
+        let cells_of = |s: &Summary| -> std::ops::RangeInclusive<usize> {
+            // Caller guarantees s.dims == ref_dims != 0; returns the
+            // covered cell rectangle as (x range, y range) flattened
+            // below.
+            grid_coord(s.lo[0])..=grid_coord(s.hi[0])
+        };
+
+        let mut id_buckets: DetMap<u64, Vec<u32>> = DetMap::new();
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); cell_count];
+        let mut broad: Vec<u32> = Vec::new();
+        // Per-candidate dedup stamps: stamp[j] == i marks j as already a
+        // candidate of i.
+        let mut stamp: Vec<u32> = vec![u32::MAX; n];
+        let mut cands: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let s = summaries[i];
+            let is_broad =
+                s.global || s.unbounded_boxes || (s.dims != 0 && s.dims != ref_dims);
+            let mut list: Vec<u32> = Vec::new();
+            {
+                let mut push = |j: u32| {
+                    if stamp[j as usize] != i as u32 {
+                        stamp[j as usize] = i as u32;
+                        list.push(j);
+                    }
+                };
+                for &id in footprints[i].ids() {
+                    if let Some(bucket) = id_buckets.get(&id) {
+                        for &j in bucket {
+                            push(j);
+                        }
+                    }
+                }
+                if is_broad {
+                    // Broad box channel: candidate with every earlier op.
+                    for j in 0..i as u32 {
+                        push(j);
+                    }
+                } else {
+                    for &j in &broad {
+                        push(j);
+                    }
+                    if s.dims != 0 {
+                        for cx in cells_of(&s) {
+                            let ys = if axes == 2 {
+                                grid_coord(s.lo[1])..=grid_coord(s.hi[1])
+                            } else {
+                                0..=0
+                            };
+                            for cy in ys {
+                                for &j in &cells[cy * GRID.pow(axes as u32 - 1) + cx] {
+                                    push(j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            list.sort_unstable();
+            cands[i] = list;
+
+            // Register op i in the indexes for later ops.
+            for &id in footprints[i].ids() {
+                id_buckets.entry(id).or_default().push(i as u32);
+            }
+            if is_broad {
+                broad.push(i as u32);
+            } else if s.dims != 0 {
+                for cx in cells_of(&s) {
+                    let ys = if axes == 2 {
+                        grid_coord(s.lo[1])..=grid_coord(s.hi[1])
+                    } else {
+                        0..=0
+                    };
+                    for cy in ys {
+                        cells[cy * GRID.pow(axes as u32 - 1) + cx].push(i as u32);
+                    }
+                }
+            }
+        }
+
+        // Exact verification, candidates only.  Disjoint bounding boxes
+        // reduce the test to the (cheap, exact) id-set intersection.
+        let verify = |i: usize| -> Vec<u32> {
+            cands[i]
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    let j = j as usize;
+                    if summaries[j].boxes_may_overlap(&summaries[i]) {
+                        footprints[j].conflicts(&footprints[i])
+                    } else {
+                        footprints[j].ids_conflict(&footprints[i])
+                    }
+                })
+                .collect()
+        };
+        let preds: Vec<Vec<u32>> = if workers > 1 && n > 64 {
+            par_map((0..n).collect(), workers, verify)
+        } else {
+            (0..n).map(verify).collect()
+        };
+        let edges = preds.iter().map(Vec::len).sum();
+        Self { n, preds, edges }
+    }
+
+    /// Number of operations (DAG vertices).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Conflict predecessors of `i` (batch indices `< i`, ascending).
+    // tao-lint: allow(panic-reachability, reason = "documented: out-of-range i is a caller bug; batch indices are validated by the executor")
+    pub fn preds(&self, i: usize) -> &[u32] {
+        &self.preds[i]
+    }
+
+    /// True when `j` is ordered before `i` by a direct conflict edge.
+    // tao-lint: allow(panic-reachability, reason = "the j < i guard bounds the index below the vertex count")
+    pub fn has_edge(&self, j: usize, i: usize) -> bool {
+        j < i && self.preds[i].binary_search(&(j as u32)).is_ok()
+    }
+
+    /// Commit-prefix wavefront schedule: a sequence of antichains
+    /// such that executing wave `w`'s prepares in parallel, then
+    /// committing the contiguous prepared prefix in batch order,
+    /// yields byte-identical state to the serial loop (see module
+    /// docs for why plain topological leveling is not used).
+    // tao-lint: allow(panic-reachability, reason = "wave members are batch indices < n by construction; progress is a debug assertion")
+    pub fn levels(&self) -> Vec<Vec<u32>> {
+        let mut waves = Vec::new();
+        let mut prepared = vec![false; self.n];
+        // Commit pointer: everything below `c` is prepared *and*
+        // committed when the next wave starts.
+        let mut c = 0usize;
+        while c < self.n {
+            let mut wave = Vec::new();
+            for i in c..self.n {
+                if prepared[i] {
+                    continue;
+                }
+                if self.preds[i].iter().all(|&j| (j as usize) < c) {
+                    wave.push(i as u32);
+                }
+            }
+            debug_assert!(
+                wave.contains(&(c as u32)),
+                "op at the commit pointer must always be eligible"
+            );
+            for &i in &wave {
+                prepared[i as usize] = true;
+            }
+            while c < self.n && prepared[c] {
+                c += 1;
+            }
+            waves.push(wave);
+        }
+        waves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id_footprint(ids: &[u64]) -> Footprint {
+        let mut f = Footprint::new();
+        for &id in ids {
+            f.add_id(id);
+        }
+        f
+    }
+
+    #[test]
+    fn edges_point_from_lower_to_higher_index() {
+        let fps = vec![id_footprint(&[1]), id_footprint(&[1]), id_footprint(&[2])];
+        let dag = ConflictDag::build(&fps);
+        assert!(dag.has_edge(0, 1));
+        assert!(!dag.has_edge(1, 0));
+        assert!(!dag.has_edge(0, 2));
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn wavefront_blocks_on_uncommitted_conflict_predecessor() {
+        // Conflicts: 0-1, 1-2, 3-4.  Plain leveling would prepare op 4
+        // in the second wave, before op 3 commits (pointer stuck at 1).
+        let fps = vec![
+            id_footprint(&[1]),
+            id_footprint(&[1, 2]),
+            id_footprint(&[2]),
+            id_footprint(&[3]),
+            id_footprint(&[3]),
+        ];
+        let dag = ConflictDag::build(&fps);
+        let waves = dag.levels();
+        // Plain longest-path leveling would emit [[0,3],[1,4],[2]] —
+        // op 4 prepared while op 3 is uncommitted. The wavefront holds
+        // op 4 back until the commit pointer passes op 3, which the
+        // contiguous-prefix rule delays until ops 1 and 2 commit.
+        assert_eq!(waves, vec![vec![0, 3], vec![1], vec![2], vec![4]]);
+    }
+
+    #[test]
+    fn waves_are_antichains_and_cover_every_op() {
+        let fps = vec![
+            id_footprint(&[1]),
+            id_footprint(&[2]),
+            id_footprint(&[1, 2]),
+            id_footprint(&[4]),
+            id_footprint(&[5]),
+        ];
+        let dag = ConflictDag::build(&fps);
+        let waves = dag.levels();
+        let mut seen = vec![false; fps.len()];
+        for wave in &waves {
+            for (a, &i) in wave.iter().enumerate() {
+                assert!(!seen[i as usize], "op scheduled twice");
+                seen[i as usize] = true;
+                for &j in &wave[..a] {
+                    assert!(
+                        !dag.has_edge(j as usize, i as usize),
+                        "conflicting ops {j} and {i} share a wave"
+                    );
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "op missing from schedule");
+    }
+
+    #[test]
+    fn independent_batch_is_one_wave_and_chain_is_n_waves() {
+        let independent: Vec<_> = (0..6).map(|i| id_footprint(&[i])).collect();
+        assert_eq!(ConflictDag::build(&independent).levels().len(), 1);
+
+        let chain: Vec<_> = (0..5).map(|i| id_footprint(&[i, i + 1])).collect();
+        assert_eq!(ConflictDag::build(&chain).levels().len(), 5);
+    }
+
+    #[test]
+    fn empty_batch_yields_no_waves() {
+        let dag = ConflictDag::build(&[]);
+        assert!(dag.is_empty());
+        assert!(dag.levels().is_empty());
+    }
+}

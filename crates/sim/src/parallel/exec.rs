@@ -1,0 +1,304 @@
+//! Prepare/commit batch executor over the conflict DAG.
+//!
+//! The executor splits every churn operation into two halves:
+//!
+//! * **prepare** — a read-only probe of the shared state (`&S`) that
+//!   computes everything the operation needs from the pre-state: owner
+//!   lookups, takeover candidates, per-op RNG setup.  Prepares within
+//!   one wavefront run concurrently on [`par_map`] workers.
+//! * **commit** — the mutation (`&mut S`), applied strictly in
+//!   original batch order.  All selector/RNG consumption that touches
+//!   shared streams happens here, so the consumed stream is identical
+//!   to the serial loop's.
+//!
+//! The *footprint contract* makes this byte-identical to serial
+//! execution: an operation's prepare result may depend only on state
+//! covered by its [`Footprint`], and the wavefront schedule (see
+//! [`ConflictDag::levels`]) guarantees every conflicting predecessor
+//! has already **committed** when a prepare runs.  Commits of
+//! non-conflicting operations may land in between, but by the contract
+//! they cannot change the prepare's reads.
+//!
+//! [`par_map`]: tao_util::par::par_map
+
+use tao_util::footprint::Footprint;
+use tao_util::par::par_map;
+
+use super::dag::ConflictDag;
+
+/// Shape statistics for one executed batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Operations in the batch.
+    pub ops: usize,
+    /// Conflict edges in the dependency DAG.
+    pub conflicts: usize,
+    /// Number of prepare wavefronts (1 = fully parallel batch).
+    pub antichains: usize,
+    /// Largest wavefront (parallelism ceiling actually available).
+    pub max_antichain: usize,
+    /// True when the batch ran through the serial oracle.
+    pub serial: bool,
+}
+
+impl BatchReport {
+    fn from_waves(ops: usize, conflicts: usize, waves: &[Vec<u32>]) -> Self {
+        Self {
+            ops,
+            conflicts,
+            antichains: waves.len(),
+            max_antichain: waves.iter().map(Vec::len).max().unwrap_or(0),
+            serial: false,
+        }
+    }
+}
+
+/// Per-operation commit results plus the batch's shape report.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome<R> {
+    /// One commit result per operation, in original batch order.
+    pub results: Vec<R>,
+    /// Shape statistics (waves, conflicts, oracle flag).
+    pub report: BatchReport,
+}
+
+/// Executes a batch through the conflict-DAG wavefront schedule.
+///
+/// `footprints` must be parallel to `ops` (one per operation, batch
+/// order); a length mismatch is rejected by falling back to the serial
+/// oracle, which is always safe.  `observer` runs after every
+/// committed wave with read access to the state and the half-open
+/// range of batch indices committed so far — invariant harnesses hook
+/// in here.
+///
+/// Byte-identity requirements on the callbacks (the footprint
+/// contract):
+/// * `prepare(&state, i, op)` must read only state covered by
+///   `footprints[i]` and must not mutate anything (enforced by `&S`).
+/// * `commit(&mut state, i, op, prepared)` performs all mutation and
+///   all shared-RNG consumption; it runs in strict batch order.
+// tao-lint: allow(panic-reachability, reason = "panics only propagate from caller-supplied prepare/commit closures or the DAG's bounded indexing")
+pub fn execute_batch_observed<S, T, P, R, FP, FC, FO>(
+    state: &mut S,
+    ops: &[T],
+    footprints: &[Footprint],
+    workers: usize,
+    prepare: FP,
+    mut commit: FC,
+    mut observer: FO,
+) -> BatchOutcome<R>
+where
+    S: Sync,
+    T: Sync,
+    P: Send,
+    FP: Fn(&S, usize, &T) -> P + Sync,
+    FC: FnMut(&mut S, usize, &T, P) -> R,
+    FO: FnMut(&S, usize),
+{
+    if footprints.len() != ops.len() {
+        let mut out = execute_serial(state, ops, prepare, commit);
+        out.report.conflicts = 0;
+        return out;
+    }
+    let workers = workers.max(1);
+    let dag = ConflictDag::build_with_workers(footprints, workers);
+    let waves = dag.levels();
+    let report = BatchReport::from_waves(ops.len(), dag.edge_count(), &waves);
+
+    let mut pending: Vec<Option<P>> = ops.iter().map(|_| None).collect();
+    let mut results: Vec<R> = Vec::with_capacity(ops.len());
+    let mut committed = 0usize;
+    for wave in &waves {
+        // Prepare phase: read-only, concurrent, order-preserving.
+        let items: Vec<(usize, &T)> = wave
+            .iter()
+            .filter_map(|&i| ops.get(i as usize).map(|op| (i as usize, op)))
+            .collect();
+        let shared: &S = state;
+        let prepared = par_map(items, workers, |(i, op)| (i, prepare(shared, i, op)));
+        for (i, p) in prepared {
+            if let Some(slot) = pending.get_mut(i) {
+                *slot = Some(p);
+            }
+        }
+        // Commit phase: contiguous prepared prefix, strict batch order.
+        loop {
+            let Some(p) = pending.get_mut(committed).and_then(Option::take) else {
+                break;
+            };
+            let Some(op) = ops.get(committed) else { break };
+            results.push(commit(state, committed, op, p));
+            committed += 1;
+        }
+        observer(state, committed);
+    }
+    debug_assert_eq!(committed, ops.len(), "wavefront schedule must drain the batch");
+    BatchOutcome { results, report }
+}
+
+/// [`execute_batch_observed`] without a per-wave observer.
+// tao-lint: allow(panic-reachability, reason = "thin wrapper over execute_batch_observed with a no-op observer")
+pub fn execute_batch<S, T, P, R, FP, FC>(
+    state: &mut S,
+    ops: &[T],
+    footprints: &[Footprint],
+    workers: usize,
+    prepare: FP,
+    commit: FC,
+) -> BatchOutcome<R>
+where
+    S: Sync,
+    T: Sync,
+    P: Send,
+    FP: Fn(&S, usize, &T) -> P + Sync,
+    FC: FnMut(&mut S, usize, &T, P) -> R,
+{
+    execute_batch_observed(state, ops, footprints, workers, prepare, commit, |_, _| {})
+}
+
+/// The serial oracle: prepare and commit each operation immediately,
+/// in batch order.  This is the reference semantics the parallel
+/// executor must match byte-for-byte; `use_serial_oracle()` on the
+/// simulator routes batches here.
+pub fn execute_serial<S, T, P, R, FP, FC>(
+    state: &mut S,
+    ops: &[T],
+    prepare: FP,
+    mut commit: FC,
+) -> BatchOutcome<R>
+where
+    FP: Fn(&S, usize, &T) -> P,
+    FC: FnMut(&mut S, usize, &T, P) -> R,
+{
+    let mut results = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let p = prepare(state, i, op);
+        results.push(commit(state, i, op, p));
+    }
+    BatchOutcome {
+        results,
+        report: BatchReport {
+            ops: ops.len(),
+            conflicts: 0,
+            antichains: ops.len(),
+            max_antichain: usize::from(!ops.is_empty()),
+            serial: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id_fp(ids: &[u64]) -> Footprint {
+        let mut f = Footprint::new();
+        for &id in ids {
+            f.add_id(id);
+        }
+        f
+    }
+
+    /// Toy state: a log of (index, value-read-at-prepare) pairs keyed
+    /// by a counter each op bumps.  Ops conflicting on an id read the
+    /// same counter, so prepare order is observable.
+    #[derive(Default)]
+    struct Counters(std::collections::BTreeMap<u64, u64>);
+
+    fn run_both(ids: Vec<Vec<u64>>, workers: usize) -> (Vec<(usize, u64)>, Vec<(usize, u64)>) {
+        let fps: Vec<_> = ids.iter().map(|v| id_fp(v)).collect();
+        let ops: Vec<Vec<u64>> = ids;
+        let prepare = |s: &Counters, i: usize, op: &Vec<u64>| {
+            (i, op.iter().map(|k| s.0.get(k).copied().unwrap_or(0)).sum::<u64>())
+        };
+        let commit = |s: &mut Counters, _i: usize, op: &Vec<u64>, p: (usize, u64)| {
+            for &k in op {
+                *s.0.entry(k).or_insert(0) += 1;
+            }
+            p
+        };
+        let mut serial_state = Counters::default();
+        let serial = execute_serial(&mut serial_state, &ops, prepare, commit).results;
+        let mut par_state = Counters::default();
+        let parallel = execute_batch(&mut par_state, &ops, &fps, workers, prepare, commit).results;
+        assert_eq!(serial_state.0, par_state.0, "final state must match");
+        (serial, parallel)
+    }
+
+    #[test]
+    fn conflicting_chain_matches_serial_at_several_worker_counts() {
+        for workers in [1, 2, 8] {
+            let ids = vec![vec![1], vec![1, 2], vec![2], vec![9], vec![9], vec![1]];
+            let (serial, parallel) = run_both(ids, workers);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn independent_ops_still_commit_in_batch_order() {
+        let ids: Vec<Vec<u64>> = (0..16).map(|i| vec![i]).collect();
+        let (serial, parallel) = run_both(ids, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.iter().map(|&(i, _)| i).collect::<Vec<_>>(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observer_sees_monotone_committed_prefix() {
+        let ids = vec![vec![1], vec![1], vec![2], vec![2], vec![3]];
+        let fps: Vec<_> = ids.iter().map(|v| id_fp(v)).collect();
+        let mut seen = Vec::new();
+        let mut state = Counters::default();
+        execute_batch_observed(
+            &mut state,
+            &ids,
+            &fps,
+            2,
+            |_, i, _| i,
+            |s: &mut Counters, _, op: &Vec<u64>, p| {
+                for &k in op {
+                    *s.0.entry(k).or_insert(0) += 1;
+                }
+                p
+            },
+            |_, committed| seen.push(committed),
+        );
+        assert_eq!(*seen.last().unwrap_or(&0), ids.len());
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]), "prefix must be monotone: {seen:?}");
+    }
+
+    #[test]
+    fn mismatched_footprints_fall_back_to_serial() {
+        let ids = vec![vec![1], vec![2]];
+        let mut state = Counters::default();
+        let out = execute_batch(
+            &mut state,
+            &ids,
+            &[],
+            4,
+            |_, i, _| i,
+            |_: &mut Counters, _, _: &Vec<u64>, p| p,
+        );
+        assert!(out.report.serial);
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn report_counts_waves_and_conflicts() {
+        let ids = vec![vec![1], vec![1], vec![2]];
+        let fps: Vec<_> = ids.iter().map(|v| id_fp(v)).collect();
+        let mut state = Counters::default();
+        let out = execute_batch(
+            &mut state,
+            &ids,
+            &fps,
+            2,
+            |_, i, _| i,
+            |_: &mut Counters, _, _: &Vec<u64>, p| p,
+        );
+        assert_eq!(out.report.ops, 3);
+        assert_eq!(out.report.conflicts, 1);
+        assert_eq!(out.report.antichains, 2);
+        assert_eq!(out.report.max_antichain, 2);
+        assert!(!out.report.serial);
+    }
+}

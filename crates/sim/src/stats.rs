@@ -89,13 +89,13 @@ impl NetStats {
         self.partition_epochs += other.partition_epochs;
     }
 
-    /// Difference since an earlier snapshot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` has larger counters than `self`.
+    /// Difference since an earlier snapshot. Counters subtract
+    /// saturatingly: if `earlier` is not actually an earlier snapshot of
+    /// this stats block (a caller bug), the affected deltas clamp to zero
+    /// instead of panicking — batch executors snapshot around every churn
+    /// wave, so a poisoned panic path here would tear down whole sweeps.
     pub fn since(&self, earlier: NetStats) -> NetStats {
-        let sub = |a: u64, b: u64| a.checked_sub(b).expect("snapshot is newer than self"); // tao-lint: allow(no-unwrap-in-lib, reason = "snapshot is newer than self")
+        let sub = |a: u64, b: u64| a.saturating_sub(b);
         NetStats {
             messages: sub(self.messages, earlier.messages),
             bytes: sub(self.bytes, earlier.bytes),
@@ -155,6 +155,16 @@ mod tests {
         assert_eq!(delta.bytes(), 50);
         assert_eq!(delta.drops(), 1);
         assert_eq!(delta.duplicates(), 1);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_panicking_on_a_newer_snapshot() {
+        let mut snap = NetStats::new();
+        snap.record_message(100);
+        let older = NetStats::new();
+        let delta = older.since(snap);
+        assert_eq!(delta.messages(), 0);
+        assert_eq!(delta.bytes(), 0);
     }
 
     #[test]

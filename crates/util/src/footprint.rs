@@ -1,0 +1,269 @@
+//! Conflict footprints for batched membership operations.
+//!
+//! A [`Footprint`] is a conservative description of the overlay state a
+//! single churn operation (join/depart/crash/recover) reads or writes:
+//! a set of axis-aligned boxes in the coordinate space plus a set of
+//! node identifiers.  Two operations *conflict* when their footprints
+//! intersect; the parallel churn executor in `tao-sim` orders
+//! conflicting operations by their original batch index and is free to
+//! prepare non-conflicting operations concurrently.
+//!
+//! The type lives in `tao-util` because both `tao-sim` (which consumes
+//! footprints to build the conflict DAG) and `tao-overlay` (which
+//! produces them from arena read-side queries) sit above `tao-util` in
+//! the crate layering, and neither may depend on the other.
+//!
+//! Over-approximation is always safe here: a footprint that is too big
+//! only serialises operations that could have run in parallel.  A
+//! footprint that is too small breaks byte-identity with the serial
+//! oracle, so producers should err on the side of inclusion (e.g. a
+//! CAN join's footprint covers the taken-over zone *and* every
+//! neighbouring zone whose neighbour lists the join rewrites).
+
+/// An axis-aligned box in the overlay coordinate space.
+///
+/// Bounds are **closed** on both ends for the purposes of overlap:
+/// two boxes that merely abut on a face are considered overlapping.
+/// This matches CAN neighbour semantics, where zones sharing a face
+/// (or a corner) hold references to each other, so an operation that
+/// rewrites one zone's neighbour list also touches the abutting zone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl FootBox {
+    /// Builds a box from per-axis lower and upper bounds.
+    ///
+    /// Returns `None` when the slices differ in length, are empty, or
+    /// any `lo[axis] > hi[axis]`.
+    pub fn new(lo: &[f64], hi: &[f64]) -> Option<Self> {
+        if lo.is_empty() || lo.len() != hi.len() {
+            return None;
+        }
+        if lo.iter().zip(hi).any(|(l, h)| l > h || !l.is_finite() || !h.is_finite()) {
+            return None;
+        }
+        Some(Self { lo: lo.to_vec(), hi: hi.to_vec() })
+    }
+
+    /// Number of axes.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound on `axis`.
+    pub fn lo(&self, axis: usize) -> f64 {
+        self.lo[axis]
+    }
+
+    /// Upper bound on `axis`.
+    pub fn hi(&self, axis: usize) -> f64 {
+        self.hi[axis]
+    }
+
+    /// Closed-interval overlap test: true when the boxes share at
+    /// least a point on every axis (abutting faces count).
+    ///
+    /// Boxes of different dimensionality conservatively overlap: they
+    /// come from different spaces and we cannot prove independence.
+    pub fn overlaps(&self, other: &Self) -> bool {
+        if self.dims() != other.dims() {
+            return true;
+        }
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+}
+
+/// Conservative read/write set of one churn operation.
+///
+/// A footprint conflicts with another when any of their boxes overlap
+/// (closed intervals), their id sets intersect, or either is marked
+/// [`global`](Footprint::global).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Footprint {
+    boxes: Vec<FootBox>,
+    ids: Vec<u64>,
+    global: bool,
+}
+
+impl Footprint {
+    /// An empty footprint that conflicts with nothing except global
+    /// footprints.  Producers should extend it via [`add_box`]
+    /// (Footprint::add_box) and [`add_id`](Footprint::add_id).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A footprint that conflicts with every other footprint.  Used
+    /// for operations without a geometric read/write set (e.g. Pastry
+    /// or Chord table rebuilds), which therefore execute serially.
+    pub fn global() -> Self {
+        Self { boxes: Vec::new(), ids: Vec::new(), global: true }
+    }
+
+    /// True when this footprint conflicts with everything.
+    pub fn is_global(&self) -> bool {
+        self.global
+    }
+
+    /// True when the footprint has no boxes, no ids and is not global.
+    pub fn is_empty(&self) -> bool {
+        !self.global && self.boxes.is_empty() && self.ids.is_empty()
+    }
+
+    /// Adds an axis-aligned box; invalid bounds degrade the footprint
+    /// to global (conservative: never silently shrink).
+    pub fn add_box(&mut self, lo: &[f64], hi: &[f64]) {
+        match FootBox::new(lo, hi) {
+            Some(b) => self.boxes.push(b),
+            None => self.global = true,
+        }
+    }
+
+    /// Adds a node identifier to the id set.
+    pub fn add_id(&mut self, id: u64) {
+        match self.ids.binary_search(&id) {
+            Ok(_) => {}
+            Err(at) => self.ids.insert(at, id),
+        }
+    }
+
+    /// The boxes recorded so far.
+    pub fn boxes(&self) -> &[FootBox] {
+        &self.boxes
+    }
+
+    /// The sorted, deduplicated id set recorded so far.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Merges `other` into `self` (union of boxes and ids; global is
+    /// sticky).
+    pub fn merge(&mut self, other: &Footprint) {
+        self.global |= other.global;
+        self.boxes.extend(other.boxes.iter().cloned());
+        for &id in &other.ids {
+            self.add_id(id);
+        }
+    }
+
+    /// Conflict test: true when either footprint is global, any pair
+    /// of boxes overlaps, or the id sets intersect.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        if self.ids_conflict(other) {
+            return true;
+        }
+        self.boxes
+            .iter()
+            .any(|a| other.boxes.iter().any(|b| a.overlaps(b)))
+    }
+
+    /// The id-set half of [`Footprint::conflicts`]: true when either
+    /// footprint is global or the sorted id sets intersect.  Callers
+    /// that can prove all box pairs disjoint (e.g. via precomputed
+    /// bounding boxes) may use this instead of the full test.
+    pub fn ids_conflict(&self, other: &Footprint) -> bool {
+        if self.global || other.global {
+            return true;
+        }
+        ids_intersect(&self.ids, &other.ids)
+    }
+}
+
+/// Sorted-slice intersection test (both inputs ascending).
+fn ids_intersect(a: &[u64], b: &[u64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abutting_boxes_overlap() {
+        let a = FootBox::new(&[0.0, 0.0], &[0.5, 0.5]).unwrap();
+        let b = FootBox::new(&[0.5, 0.0], &[1.0, 0.5]).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_overlap() {
+        let a = FootBox::new(&[0.0, 0.0], &[0.25, 0.25]).unwrap();
+        let b = FootBox::new(&[0.5, 0.5], &[1.0, 1.0]).unwrap();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn mismatched_dims_conservatively_overlap() {
+        let a = FootBox::new(&[0.0], &[0.1]).unwrap();
+        let b = FootBox::new(&[0.8, 0.8], &[1.0, 1.0]).unwrap();
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn id_sets_conflict_only_on_intersection() {
+        let mut a = Footprint::new();
+        a.add_id(3);
+        a.add_id(7);
+        let mut b = Footprint::new();
+        b.add_id(5);
+        assert!(!a.conflicts(&b));
+        b.add_id(7);
+        assert!(a.conflicts(&b));
+    }
+
+    #[test]
+    fn global_conflicts_with_everything_even_empty() {
+        let g = Footprint::global();
+        let empty = Footprint::new();
+        assert!(g.conflicts(&empty));
+        assert!(empty.conflicts(&g));
+        assert!(!empty.conflicts(&Footprint::new()));
+    }
+
+    #[test]
+    fn invalid_box_degrades_to_global() {
+        let mut f = Footprint::new();
+        f.add_box(&[0.5], &[0.1]);
+        assert!(f.is_global());
+    }
+
+    #[test]
+    fn merge_unions_boxes_ids_and_global() {
+        let mut a = Footprint::new();
+        a.add_box(&[0.0, 0.0], &[0.1, 0.1]);
+        a.add_id(1);
+        let mut b = Footprint::new();
+        b.add_id(2);
+        a.merge(&b);
+        assert_eq!(a.ids(), &[1, 2]);
+        assert_eq!(a.boxes().len(), 1);
+        a.merge(&Footprint::global());
+        assert!(a.is_global());
+    }
+
+    #[test]
+    fn add_id_dedups_and_sorts() {
+        let mut f = Footprint::new();
+        for id in [9, 2, 9, 5, 2] {
+            f.add_id(id);
+        }
+        assert_eq!(f.ids(), &[2, 5, 9]);
+    }
+}

@@ -50,6 +50,14 @@ where
     F: Fn(T) -> R + Sync,
 {
     assert!(workers > 0, "need at least one worker");
+    // One worker (or at most one item) degenerates to a plain map: run
+    // inline and skip the scoped-thread machinery entirely. The result
+    // is identical by construction — par_map is order-preserving — so
+    // this is pure overhead removal for the single-core/single-item
+    // cases, which fine-grained wavefront executors hit constantly.
+    if workers == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
     let n = items.len();
     // ~8 steals per worker balances lock traffic against tail latency.
     let chunk = (n / (workers * 8)).max(1);

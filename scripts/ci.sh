@@ -133,8 +133,39 @@ if [ -z "$wheel_digest" ] || [ "$wheel_digest" != "$heap_digest" ]; then
 fi
 echo "wheel-vs-heap determinism: OK ($qfp1)"
 
-# Smoke: the churn example runs its bonus simulation under a lossy plan.
+# Parallel churn determinism: the canonical three-scenario churn run
+# (flash crowd + stub-domain crash + diurnal wave) must produce one
+# digest from the serial oracle and the conflict-DAG executor alike, at
+# different TAO_WORKERS values, in separate processes.
+churn_fingerprint() {
+    TAO_WORKERS="$1" cargo test -q --offline -p tao-core \
+        --test parallel_churn_equivalence churn_fingerprint_for_ci \
+        -- --nocapture 2>&1 | grep '^CHURN_FINGERPRINT'
+}
+cfp2=$(churn_fingerprint 2)
+cfp8=$(churn_fingerprint 8)
+if [ -z "$cfp2" ] || [ -z "$cfp8" ]; then
+    echo "FAIL: churn fingerprint test produced no fingerprint line." >&2
+    exit 1
+fi
+c2_serial=$(printf '%s\n' "$cfp2" | sed -nE 's/.*serial=([0-9a-fx]+).*/\1/p')
+c2_parallel=$(printf '%s\n' "$cfp2" | sed -nE 's/.*parallel=([0-9a-fx]+).*/\1/p')
+c8_serial=$(printf '%s\n' "$cfp8" | sed -nE 's/.*serial=([0-9a-fx]+).*/\1/p')
+c8_parallel=$(printf '%s\n' "$cfp8" | sed -nE 's/.*parallel=([0-9a-fx]+).*/\1/p')
+if [ -z "$c2_serial" ] || [ "$c2_serial" != "$c2_parallel" ] \
+    || [ "$c2_serial" != "$c8_serial" ] || [ "$c8_serial" != "$c8_parallel" ]; then
+    echo "FAIL: churn digests diverged across executors or worker counts." >&2
+    echo "  TAO_WORKERS=2: $cfp2" >&2
+    echo "  TAO_WORKERS=8: $cfp8" >&2
+    exit 1
+fi
+echo "parallel churn determinism: OK ($cfp2)"
+
+# Smoke: the churn example runs its bonus simulation under a lossy plan,
+# and the parallel-churn example proves oracle/executor agreement on the
+# three batch scenarios.
 cargo run -q --release --offline --example churn_and_pubsub > /dev/null
+cargo run -q --release --offline --example parallel_churn > /dev/null
 echo "faults stage: OK"
 
 # ---- Perf smoke: bench suite one-shot + pinned baseline artifacts. ----------
@@ -182,6 +213,25 @@ best = max(c["speedup"] for c in queue)
 assert best >= 5.0, f"committed event-queue speedup regressed below 5x: {best}"
 print(f"BENCH_06.json: OK ({len(comparisons)} comparisons, best event-queue speedup {best}x)")
 EOF
+# The PR-7 flash-crowd serial-vs-parallel medians must parse and keep
+# their shape whenever the fig_flashcrowd sweep has been run.
+if [ -f results/BENCH_07.json ]; then
+    python3 - <<'EOF'
+import json
+with open("results/BENCH_07.json") as f:
+    doc = json.load(f)
+assert doc["pr"] == 7, f"BENCH_07.json carries wrong pr: {doc['pr']}"
+comparisons = doc["comparisons"]
+assert comparisons, "BENCH_07.json has no comparisons"
+for c in comparisons:
+    for key in ("name", "before", "after", "before_median_ns", "after_median_ns", "speedup"):
+        assert key in c, f"comparison missing {key!r}: {c}"
+flash = [c for c in comparisons if c["name"] == "flashcrowd_batch"]
+assert flash, "BENCH_07.json records no flashcrowd_batch comparison"
+assert flash[0]["before"] == "serial_oracle" and flash[0]["after"] == "parallel_dag"
+print(f"BENCH_07.json: OK ({len(comparisons)} serial-vs-parallel comparisons)")
+EOF
+fi
 echo "perf smoke: OK"
 
 # ---- Waiver audit: wall-clock reads stay confined and justified. ------------

@@ -1,0 +1,480 @@
+//! Equivalence battery for the dependency-DAG parallel churn executor:
+//! the conflict DAG orders every overlapping pair and levels into
+//! antichains, and executing any churn batch through the wavefront
+//! scheduler at `TAO_WORKERS` ∈ {1, 2, 8} leaves overlay state and the
+//! soft-state entry stream byte-identical to the serial oracle — with and
+//! without a lossy [`FaultPlan`] installed on the simulator.
+
+use tao_core::churn::{run_batch, ChurnRecord, ChurnState, PreparedOp};
+use tao_overlay::ecan::{EcanOverlay, RandomSelector};
+use tao_overlay::{CanOverlay, OverlayNodeId, Point};
+use tao_sim::parallel::{
+    execute_batch, execute_serial, op_seed, ChurnOp, ChurnOpKind, ConflictDag, Footprint,
+};
+use tao_sim::{FaultPlan, NodeId, SimDuration, SimTime, Simulator, UniformLatency};
+use tao_topology::NodeIdx;
+use tao_util::check::for_all;
+use tao_util::det::DetMap;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+// ---------------------------------------------------------------------------
+// DAG structure properties
+// ---------------------------------------------------------------------------
+
+/// Random footprints (boxes, ids, the occasional global) → the DAG must
+/// order every conflicting pair from lower to higher batch index (hence
+/// acyclic), and its waves must partition the batch into antichains.
+#[test]
+fn conflict_dag_orders_every_overlapping_pair_into_antichains() {
+    for_all("dag_orders_overlaps", 64, |rng| {
+        let n = rng.gen_range(2..40usize);
+        let fps: Vec<Footprint> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.05) {
+                    return Footprint::global();
+                }
+                let mut fp = Footprint::new();
+                for _ in 0..rng.gen_range(0..3) {
+                    let lo: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..0.9)).collect();
+                    let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.01..0.1)).collect();
+                    fp.add_box(&lo, &hi);
+                }
+                for _ in 0..rng.gen_range(0..3) {
+                    fp.add_id(rng.gen_range(0..12u64));
+                }
+                fp
+            })
+            .collect();
+        let dag = ConflictDag::build(&fps);
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(
+                    dag.has_edge(j, i),
+                    fps[j].conflicts(&fps[i]),
+                    "pair ({j},{i}) mis-ordered"
+                );
+                assert!(!dag.has_edge(i, j), "edge against batch order");
+            }
+        }
+        let waves = dag.levels();
+        let mut seen = vec![false; n];
+        for wave in &waves {
+            for (k, &i) in wave.iter().enumerate() {
+                assert!(!seen[i as usize], "op {i} scheduled twice");
+                seen[i as usize] = true;
+                for &j in &wave[..k] {
+                    assert!(
+                        !fps[j as usize].conflicts(&fps[i as usize]),
+                        "conflicting ops {j} and {i} share a wave"
+                    );
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "schedule dropped an op");
+    });
+}
+
+/// Footprints computed by the CAN harness for a real scenario batch obey
+/// the same pairwise-ordering property (zone-overlap ⇒ edge).
+#[test]
+fn scenario_footprints_order_zone_overlapping_ops() {
+    let plan = FaultPlan::new(0x7a11);
+    let state = ChurnState::new(2, 0x7a11, 48);
+    let ops = plan.flash_crowd(
+        2,
+        64,
+        1_000,
+        SimTime::ORIGIN,
+        SimDuration::from_secs(10),
+    );
+    let fps = state.footprints(&ops);
+    let dag = ConflictDag::build(&fps);
+    assert!(dag.edge_count() > 0, "a 64-join burst must have conflicts");
+    for i in 0..fps.len() {
+        for j in 0..i {
+            assert_eq!(dag.has_edge(j, i), fps[j].conflicts(&fps[i]));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel byte identity on the CAN harness
+// ---------------------------------------------------------------------------
+
+/// Applies `batches` to a fresh harness; `workers = None` means the serial
+/// oracle. Returns (fingerprint, committed stream, encoded map entries).
+fn run_can(
+    seed: u64,
+    initial: u64,
+    batches: &[Vec<ChurnOp>],
+    workers: Option<usize>,
+) -> (u64, Vec<ChurnRecord>, Vec<Vec<u8>>) {
+    let mut state = ChurnState::new(2, seed, initial);
+    for ops in batches {
+        let fps = state.footprints(ops);
+        match workers {
+            None => {
+                execute_serial(&mut state, ops, ChurnState::prepare_op, ChurnState::commit_op);
+            }
+            Some(w) => {
+                execute_batch(
+                    &mut state,
+                    ops,
+                    &fps,
+                    w,
+                    ChurnState::prepare_op,
+                    ChurnState::commit_op,
+                );
+            }
+        }
+    }
+    let entries: Vec<Vec<u8>> = state.map().entries().map(|e| e.encode()).collect();
+    (state.fingerprint(), state.log().to_vec(), entries)
+}
+
+fn assert_matches_serial(seed: u64, initial: u64, batches: &[Vec<ChurnOp>]) {
+    let serial = run_can(seed, initial, batches, None);
+    for workers in [1usize, 2, 8] {
+        let parallel = run_can(seed, initial, batches, Some(workers));
+        assert_eq!(serial.0, parallel.0, "fingerprint diverged at {workers} workers");
+        assert_eq!(serial.1, parallel.1, "op stream diverged at {workers} workers");
+        assert_eq!(serial.2, parallel.2, "soft-state diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn flash_crowd_batches_are_byte_identical_to_serial() {
+    let plan = FaultPlan::new(0xf1a5);
+    let ops = plan.flash_crowd(2, 96, 10_000, SimTime::ORIGIN, SimDuration::from_secs(30));
+    assert_matches_serial(0xf1a5, 32, &[ops]);
+}
+
+#[test]
+fn stub_domain_crash_and_recover_is_byte_identical_to_serial() {
+    let mut plan = FaultPlan::new(0xc4a5);
+    // Crash labels 4..20 (live in the 32-node bootstrap), recover later.
+    let domain: Vec<NodeId> = (4..20).map(NodeId).collect();
+    let ops = plan.stub_domain_crash(
+        2,
+        &domain,
+        SimTime::from_micros(1_000),
+        SimTime::from_micros(50_000),
+    );
+    assert_matches_serial(0xc4a5, 32, &[ops]);
+}
+
+#[test]
+fn diurnal_wave_batches_are_byte_identical_to_serial() {
+    let plan = FaultPlan::new(0xd1a7);
+    let ops = plan.diurnal_wave(2, 128, 5_000, SimDuration::from_secs(86_400));
+    assert_matches_serial(0xd1a7, 24, &[ops]);
+}
+
+/// Random multi-batch churn (joins, departs of known and unknown labels,
+/// duplicate joins) stays byte-identical at every worker count.
+#[test]
+fn random_churn_batches_are_byte_identical_to_serial() {
+    for_all("random_batches_match_serial", 24, |rng| {
+        let seed = rng.gen();
+        let initial = rng.gen_range(8..32u64);
+        let mut next_label = initial;
+        let batches: Vec<Vec<ChurnOp>> = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                (0..rng.gen_range(1..48usize))
+                    .map(|_| {
+                        let kind = match rng.gen_range(0..4u8) {
+                            0 => ChurnOpKind::Join,
+                            1 => ChurnOpKind::Depart,
+                            2 => ChurnOpKind::Crash,
+                            _ => ChurnOpKind::Recover,
+                        };
+                        let node = match kind {
+                            ChurnOpKind::Join => {
+                                next_label += 1;
+                                next_label
+                            }
+                            // Mostly-live victims, sometimes unknown ones,
+                            // sometimes re-joins of live labels.
+                            _ => rng.gen_range(0..next_label + 4),
+                        };
+                        let point = match kind {
+                            ChurnOpKind::Depart | ChurnOpKind::Crash => Vec::new(),
+                            _ => (0..2).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                        };
+                        ChurnOp {
+                            kind,
+                            at: SimTime::ORIGIN,
+                            node,
+                            point,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_matches_serial(seed, initial, &batches);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Simulator wiring + lossy fault plan
+// ---------------------------------------------------------------------------
+
+/// The `Simulator` front door: `use_serial_oracle()` vs the default
+/// parallel path must agree even with a lossy, jittery fault plan
+/// installed and message traffic interleaved between batches.
+#[test]
+fn simulator_batches_match_oracle_under_a_lossy_fault_plan() {
+    let run = |serial: bool| -> (u64, u64) {
+        let mut plan = FaultPlan::new(0x10_55);
+        let ops = plan.flash_crowd(2, 48, 2_000, SimTime::ORIGIN, SimDuration::from_secs(5));
+        let domain: Vec<NodeId> = (2..10).map(NodeId).collect();
+        let crash = plan.stub_domain_crash(
+            2,
+            &domain,
+            SimTime::from_micros(500),
+            SimTime::from_micros(9_000),
+        );
+        let mut sim: Simulator<u32, _> =
+            Simulator::new(UniformLatency::new(SimDuration::from_millis(2)));
+        for _ in 0..16 {
+            sim.add_node();
+        }
+        sim.set_fault_plan(plan);
+        if serial {
+            sim.use_serial_oracle();
+        }
+        let mut state = ChurnState::new(2, 0x10_55, 16);
+        run_batch(&mut sim, &mut state, &ops);
+        // Interleave lossy traffic between the two batches; its RNG draws
+        // must be untouched by the executor's scheduling.
+        for i in 0..8u32 {
+            sim.send(NodeId(i as usize), NodeId(((i + 1) % 8) as usize), i);
+        }
+        let mut delivered = FNV_OFFSET;
+        while sim
+            .step(|_, at, msg| {
+                delivered = fnv(delivered, at.0 as u64 ^ (u64::from(msg.payload) << 32));
+            })
+            .is_some()
+        {}
+        run_batch(&mut sim, &mut state, &crash);
+        (state.fingerprint(), delivered)
+    };
+    assert_eq!(run(true), run(false), "oracle and parallel paths diverged");
+}
+
+// ---------------------------------------------------------------------------
+// eCAN harness (expressway tables repaired per departure)
+// ---------------------------------------------------------------------------
+
+struct EcanState {
+    ecan: EcanOverlay,
+    live: DetMap<u64, OverlayNodeId>,
+    next_underlay: u32,
+    master_seed: u64,
+}
+
+impl EcanState {
+    fn new(seed: u64, initial: u64) -> Self {
+        let mut can = CanOverlay::new(2).expect("2-d CAN");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live = DetMap::new();
+        for label in 0..initial {
+            let id = can.join(NodeIdx(label as u32), Point::random(2, &mut rng));
+            live.insert(label, id);
+        }
+        let ecan = EcanOverlay::build(can, &mut RandomSelector::new(seed ^ 0xec));
+        EcanState {
+            ecan,
+            live,
+            next_underlay: initial as u32,
+            master_seed: seed,
+        }
+    }
+
+    fn footprints(&self, ops: &[ChurnOp]) -> Vec<Footprint> {
+        ops.iter()
+            .map(|op| {
+                let mut fp = Footprint::new();
+                fp.add_id((1 << 48) | op.node);
+                match op.kind {
+                    ChurnOpKind::Join | ChurnOpKind::Recover => {
+                        let point = Point::clamped(op.point.clone());
+                        fp.merge(&self.ecan.join_footprint(&point));
+                    }
+                    ChurnOpKind::Depart | ChurnOpKind::Crash => {
+                        if let Some(&id) = self.live.get(&op.node) {
+                            if let Ok(dfp) = self.ecan.depart_footprint(id) {
+                                fp.merge(&dfp);
+                            }
+                        }
+                    }
+                }
+                fp
+            })
+            .collect()
+    }
+
+    fn prepare(&self, _i: usize, op: &ChurnOp) -> Option<OverlayNodeId> {
+        match op.kind {
+            ChurnOpKind::Join | ChurnOpKind::Recover => {
+                if self.ecan.can().len() == 0 || self.live.get(&op.node).is_some() {
+                    None
+                } else {
+                    Some(self.ecan.can().owner(&Point::clamped(op.point.clone())))
+                }
+            }
+            _ => self.live.get(&op.node).copied(),
+        }
+    }
+
+    fn commit(&mut self, i: usize, op: &ChurnOp, _prep: Option<OverlayNodeId>) {
+        let per_op = op_seed(self.master_seed, i as u64);
+        match op.kind {
+            ChurnOpKind::Join | ChurnOpKind::Recover => {
+                if self.live.get(&op.node).is_none() {
+                    let id = self
+                        .ecan
+                        .join_unselected(NodeIdx(self.next_underlay), Point::clamped(op.point.clone()));
+                    self.next_underlay += 1;
+                    self.live.insert(op.node, id);
+                    self.ecan
+                        .reselect_node(id, &mut RandomSelector::new(per_op));
+                }
+            }
+            ChurnOpKind::Depart | ChurnOpKind::Crash => {
+                if let Some(id) = self.live.remove(&op.node) {
+                    self.ecan
+                        .depart_and_repair(id, &mut RandomSelector::new(per_op))
+                        .expect("victim is live");
+                }
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (&label, &id) in self.live.iter() {
+            h = fnv(h, label);
+            h = fnv(h, u64::from(id.0));
+            for z in self.ecan.can().zones(id).unwrap_or_default() {
+                for axis in 0..z.dims() {
+                    h = fnv(h, z.lo(axis).to_bits());
+                    h = fnv(h, z.hi(axis).to_bits());
+                }
+            }
+            for nb in self.ecan.can().neighbors(id).unwrap_or_default() {
+                h = fnv(h, u64::from(nb.0));
+            }
+            for byte in format!("{:?}", self.ecan.high_order_entries(id)).bytes() {
+                h = fnv(h, u64::from(byte));
+            }
+        }
+        h
+    }
+}
+
+/// eCAN batches — where departures also repair dependent expressway
+/// tables with per-op selector RNGs — stay byte-identical to serial.
+#[test]
+fn ecan_churn_batches_are_byte_identical_to_serial() {
+    let plan = FaultPlan::new(0xeca4);
+    let wave = plan.diurnal_wave(2, 96, 4_000, SimDuration::from_secs(3_600));
+    let run = |workers: Option<usize>| -> u64 {
+        let mut state = EcanState::new(0xeca4, 40);
+        let fps = state.footprints(&wave);
+        match workers {
+            None => {
+                execute_serial(&mut state, &wave, EcanState::prepare, EcanState::commit);
+            }
+            Some(w) => {
+                execute_batch(&mut state, &wave, &fps, w, EcanState::prepare, EcanState::commit);
+            }
+        }
+        state.ecan.check_invariants();
+        state.fingerprint()
+    };
+    let serial = run(None);
+    for workers in [1, 2, 8] {
+        assert_eq!(serial, run(Some(workers)), "eCAN diverged at {workers} workers");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process fingerprint for scripts/ci.sh
+// ---------------------------------------------------------------------------
+
+/// Prints one line with the serial and parallel digests of a canonical
+/// three-scenario churn run. `scripts/ci.sh` executes this test in
+/// separate processes under `TAO_WORKERS=2` and `TAO_WORKERS=8` and
+/// requires every digest to be identical — the cross-process half of the
+/// executor's determinism guarantee. The parallel run honours
+/// `TAO_WORKERS` via [`tao_util::par::workers`].
+#[test]
+fn churn_fingerprint_for_ci() {
+    let mut plan = FaultPlan::new(0xc1);
+    let mut batches = Vec::new();
+    batches.push(plan.flash_crowd(2, 64, 1_000, SimTime::ORIGIN, SimDuration::from_secs(20)));
+    let domain: Vec<NodeId> = (8..24).map(NodeId).collect();
+    batches.push(plan.stub_domain_crash(
+        2,
+        &domain,
+        SimTime::from_micros(2_000),
+        SimTime::from_micros(80_000),
+    ));
+    batches.push(plan.diurnal_wave(2, 64, 2_000, SimDuration::from_secs(43_200)));
+    let (serial, serial_log, _) = run_can(0xc1, 48, &batches, None);
+    let workers = tao_util::par::workers();
+    let (parallel, parallel_log, _) = run_can(0xc1, 48, &batches, Some(workers));
+    let ops: usize = batches.iter().map(Vec::len).sum();
+    println!(
+        "CHURN_FINGERPRINT serial={serial:#018x} parallel={parallel:#018x} ops={ops} workers={workers}"
+    );
+    assert_eq!(serial, parallel, "serial and parallel digests must match");
+    assert_eq!(serial_log, parallel_log);
+}
+
+// ---------------------------------------------------------------------------
+// Prepare/commit plumbing details
+// ---------------------------------------------------------------------------
+
+/// The prepare phase really is consulted: owner hints arrive fresh for a
+/// conflict-ordered batch (no stale hints), and the report's antichain
+/// count is bounded by the batch length.
+#[test]
+fn prepared_hints_are_fresh_and_reports_are_sane() {
+    let plan = FaultPlan::new(0x0b5);
+    let ops = plan.flash_crowd(2, 40, 500, SimTime::ORIGIN, SimDuration::from_secs(2));
+    let mut state = ChurnState::new(2, 0x0b5, 16);
+    let fps = state.footprints(&ops);
+    let outcome = execute_batch(
+        &mut state,
+        &ops,
+        &fps,
+        4,
+        ChurnState::prepare_op,
+        ChurnState::commit_op,
+    );
+    assert_eq!(outcome.report.ops, 40);
+    assert!(!outcome.report.serial);
+    assert!(outcome.report.antichains <= 40);
+    assert!(outcome.report.max_antichain >= 1);
+    assert_eq!(state.stale_hints(), 0, "conflict DAG must keep hints fresh");
+    assert_eq!(state.log().len(), 40);
+    // Every join committed and is queryable.
+    let joined = state.log().iter().filter(|r| r.overlay != u32::MAX).count();
+    assert_eq!(joined, 40);
+    let _ = PreparedOp {
+        owner_hint: None,
+        victim: None,
+        landmark: None,
+    };
+}
