@@ -109,6 +109,10 @@ pub struct FnNode {
     pub krate: String,
     /// Workspace-relative file path.
     pub path: String,
+    /// Index of the owning file in the slice given to
+    /// [`CallGraph::build`]; the dataflow passes use it to re-scan the
+    /// node's tokens.
+    pub file: usize,
     /// `::`-qualified name within the file (`CanOverlay::join`).
     pub qual: String,
     /// Simple name (`join`).
@@ -119,10 +123,18 @@ pub struct FnNode {
     pub vis: Visibility,
     /// 1-based line of the item.
     pub line: u32,
+    /// Code-token span of the whole item (signature included), indexing
+    /// the owning file's code tokens.
+    pub tok: (usize, usize),
+    /// Code-token span of the body, if the function has one.
+    pub body: Option<(usize, usize)>,
     /// Direct panic sites in the body.
     pub sites: Vec<PanicSite>,
     /// Call references out of the body.
     pub calls: Vec<CallRef>,
+    /// Absolute code-token index of each call's name token, aligned with
+    /// `calls`.
+    pub call_pos: Vec<usize>,
 }
 
 /// The workspace call graph plus panic-reachability results.
@@ -131,6 +143,9 @@ pub struct CallGraph {
     /// All function nodes, in deterministic (file, line) order.
     pub nodes: Vec<FnNode>,
     edges: Vec<Vec<usize>>,
+    /// Per node, per call ref (aligned with `FnNode::calls`): the
+    /// resolved target nodes after the layering filter.
+    call_targets: Vec<Vec<Vec<usize>>>,
     /// For each node: the nearest panic site it can reach, as
     /// `(hops, node index owning the site, site index)`; `None` if the
     /// node cannot reach a panic site.
@@ -143,15 +158,26 @@ impl CallGraph {
     /// added as nodes.
     pub fn build(files: &[(String, String, Vec<&Token>, Vec<Item>)]) -> CallGraph {
         let mut g = CallGraph::default();
-        for (krate, path, code, items) in files {
+        for (fi, (krate, path, code, items)) in files.iter().enumerate() {
             for item in items {
-                collect_fns(krate, path, code, item, None, &mut g.nodes);
+                collect_fns(krate, path, fi, code, item, None, &mut g.nodes);
             }
         }
         g.nodes.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
         g.resolve();
         g.propagate();
         g
+    }
+
+    /// The resolved outgoing edges of node `i`, sorted and deduplicated.
+    pub fn callees(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
+
+    /// The resolved targets of each call ref of node `i`, aligned with
+    /// `nodes[i].calls` / `nodes[i].call_pos`.
+    pub fn call_targets(&self, i: usize) -> &[Vec<usize>] {
+        &self.call_targets[i]
     }
 
     /// Resolves every node's call refs into edge lists.
@@ -171,9 +197,12 @@ impl CallGraph {
             }
         }
         self.edges = vec![Vec::new(); self.nodes.len()];
+        self.call_targets = vec![Vec::new(); self.nodes.len()];
         for i in 0..self.nodes.len() {
             let mut out: Vec<usize> = Vec::new();
+            let mut per_call: Vec<Vec<usize>> = Vec::with_capacity(self.nodes[i].calls.len());
             for call in &self.nodes[i].calls {
+                let mut targets: Vec<usize> = Vec::new();
                 match call {
                     CallRef::Free(name) => {
                         if let Some(ids) = frees.get(name.as_str()) {
@@ -196,34 +225,47 @@ impl CallGraph {
                             } else {
                                 ids.clone()
                             };
-                            out.extend(chosen);
+                            targets.extend(chosen);
                         }
                     }
                     CallRef::Qualified(q, name) => {
-                        if let Some(ids) = typed.get(&(q.as_str(), name.as_str())) {
-                            out.extend(ids.iter().copied());
+                        // `Self::helper(…)` names the caller's own impl
+                        // type; substitute it so the call resolves like an
+                        // explicit `Type::helper(…)`.
+                        let q = if q == "Self" {
+                            self.nodes[i].type_name.as_deref().unwrap_or(q.as_str())
+                        } else {
+                            q.as_str()
+                        };
+                        if let Some(ids) = typed.get(&(q, name.as_str())) {
+                            targets.extend(ids.iter().copied());
                         }
                         // A lowercase qualifier may be a module path
                         // (`zone::split`): link matching free fns too.
                         if q.chars().next().is_some_and(|c| c.is_lowercase()) {
                             if let Some(ids) = frees.get(name.as_str()) {
-                                out.extend(ids.iter().copied());
+                                targets.extend(ids.iter().copied());
                             }
                         }
                     }
                     CallRef::Method(name) => {
                         if !STD_METHODS.contains(&name.as_str()) {
                             if let Some(ids) = methods.get(name.as_str()) {
-                                out.extend(ids.iter().copied());
+                                targets.extend(ids.iter().copied());
                             }
                         }
                     }
                 }
+                targets.retain(|&j| layering_allows(&self.nodes[i].krate, &self.nodes[j].krate));
+                targets.sort_unstable();
+                targets.dedup();
+                out.extend(targets.iter().copied());
+                per_call.push(targets);
             }
-            out.retain(|&j| layering_allows(&self.nodes[i].krate, &self.nodes[j].krate));
             out.sort_unstable();
             out.dedup();
             self.edges[i] = out;
+            self.call_targets[i] = per_call;
         }
     }
 
@@ -286,6 +328,72 @@ impl CallGraph {
         let site = owner_node.sites.first()?;
         Some((chain, owner_node, site))
     }
+
+    /// Generic reverse-BFS: for every node, the nearest seed node it can
+    /// reach over forward edges, as `(hops, seed index)`. `seed[i]` marks
+    /// the target set; a seed node reaches itself in 0 hops. This is the
+    /// same propagation panic-reachability uses, reusable by the dataflow
+    /// passes (taint sinks reaching taint sources).
+    pub fn reach_from(&self, seed: &[bool]) -> Vec<Option<(u32, usize)>> {
+        let n = self.nodes.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &j in outs {
+                rev[j].push(i);
+            }
+        }
+        let mut reach: Vec<Option<(u32, usize)>> = vec![None; n];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for i in 0..n {
+            if seed.get(i).copied().unwrap_or(false) {
+                reach[i] = Some((0, i));
+                queue.push_back(i);
+            }
+        }
+        while let Some(j) = queue.pop_front() {
+            let (hops, owner) = reach[j].expect("queued nodes are marked"); // tao-lint: allow(no-unwrap-in-lib, reason = "queued nodes are marked before push")
+            for &i in &rev[j] {
+                if reach[i].is_none() {
+                    reach[i] = Some((hops + 1, owner));
+                    queue.push_back(i);
+                }
+            }
+        }
+        reach
+    }
+
+    /// A deterministic witness chain from `start` to a seed node, given a
+    /// `reach_from` result: walks forward edges, always stepping to a
+    /// neighbor strictly closer to a seed. Returns the chain of `qual`
+    /// names and the final node index (a seed node when one is
+    /// reachable).
+    pub fn witness_chain(
+        &self,
+        start: usize,
+        seed: &[bool],
+        reach: &[Option<(u32, usize)>],
+    ) -> (Vec<String>, usize) {
+        let mut chain = vec![self.nodes[start].qual.clone()];
+        let mut cur = start;
+        let mut guard = 0;
+        while !seed.get(cur).copied().unwrap_or(false) && guard < 64 {
+            let cur_d = reach[cur].map(|(d, _)| d).unwrap_or(u32::MAX);
+            let next = self.edges[cur]
+                .iter()
+                .copied()
+                .filter(|&j| reach[j].is_some_and(|(d, _)| d < cur_d))
+                .min_by_key(|&j| (reach[j].map(|(d, _)| d), j));
+            match next {
+                Some(j) => {
+                    chain.push(self.nodes[j].qual.clone());
+                    cur = j;
+                }
+                None => break,
+            }
+            guard += 1;
+        }
+        (chain, cur)
+    }
 }
 
 /// Recursively collects `fn` items into graph nodes, scanning bodies for
@@ -293,6 +401,7 @@ impl CallGraph {
 fn collect_fns(
     krate: &str,
     path: &str,
+    file: usize,
     code: &[&Token],
     item: &Item,
     enclosing_type: Option<&str>,
@@ -303,30 +412,37 @@ fn collect_fns(
     }
     match item.kind {
         ItemKind::Fn => {
-            let (sites, calls) = match item.body {
-                Some((lo, hi)) => scan_body(&code[lo.min(code.len())..hi.min(code.len())]),
-                None => (Vec::new(), Vec::new()),
+            let (sites, calls, call_pos) = match item.body {
+                Some((lo, hi)) => {
+                    let lo = lo.min(code.len());
+                    scan_body(&code[lo..hi.min(code.len())], lo)
+                }
+                None => (Vec::new(), Vec::new(), Vec::new()),
             };
             out.push(FnNode {
                 krate: krate.to_string(),
                 path: path.to_string(),
+                file,
                 qual: item.qual.clone(),
                 name: item.name.clone(),
                 type_name: enclosing_type.map(str::to_string),
                 vis: item.vis,
                 line: item.line,
+                tok: item.tok,
+                body: item.body,
                 sites,
                 calls,
+                call_pos,
             });
         }
         ItemKind::Impl | ItemKind::Trait => {
             for c in &item.children {
-                collect_fns(krate, path, code, c, Some(&item.name), out);
+                collect_fns(krate, path, file, code, c, Some(&item.name), out);
             }
         }
         ItemKind::Mod => {
             for c in &item.children {
-                collect_fns(krate, path, code, c, None, out);
+                collect_fns(krate, path, file, code, c, None, out);
             }
         }
         _ => {}
@@ -339,9 +455,12 @@ const NOT_CALLS: [&str; 12] = [
 ];
 
 /// Scans a function body's code tokens for panic sites and call refs.
-fn scan_body(body: &[&Token]) -> (Vec<PanicSite>, Vec<CallRef>) {
+/// `base` is the body's starting index in the file's code tokens, so
+/// recorded call positions are absolute.
+fn scan_body(body: &[&Token], base: usize) -> (Vec<PanicSite>, Vec<CallRef>, Vec<usize>) {
     let mut sites = Vec::new();
     let mut calls = Vec::new();
+    let mut call_pos = Vec::new();
     for (i, t) in body.iter().enumerate() {
         let next = |k: usize| body.get(i + k).map(|t| t.text.as_str()).unwrap_or("");
         let prev = if i > 0 { Some(body[i - 1]) } else { None };
@@ -362,17 +481,25 @@ fn scan_body(body: &[&Token]) -> (Vec<PanicSite>, Vec<CallRef>) {
                     Some(".") => match name {
                         "unwrap" => sites.push(PanicSite { kind: PanicKind::Unwrap, line: t.line }),
                         "expect" => sites.push(PanicSite { kind: PanicKind::Expect, line: t.line }),
-                        _ => calls.push(CallRef::Method(name.to_string())),
+                        _ => {
+                            calls.push(CallRef::Method(name.to_string()));
+                            call_pos.push(base + i);
+                        }
                     },
                     Some("::") => {
-                        let qual = body
-                            .get(i.wrapping_sub(2))
-                            .filter(|q| q.kind == TokenKind::Ident)
-                            .map(|q| q.text.clone())
-                            .unwrap_or_default();
+                        let qual = ufcs_qual(body, i).unwrap_or_else(|| {
+                            body.get(i.wrapping_sub(2))
+                                .filter(|q| q.kind == TokenKind::Ident)
+                                .map(|q| q.text.clone())
+                                .unwrap_or_default()
+                        });
                         calls.push(CallRef::Qualified(qual, name.to_string()));
+                        call_pos.push(base + i);
                     }
-                    _ => calls.push(CallRef::Free(name.to_string())),
+                    _ => {
+                        calls.push(CallRef::Free(name.to_string()));
+                        call_pos.push(base + i);
+                    }
                 }
             }
             TokenKind::Punct if t.text == "[" => {
@@ -390,7 +517,43 @@ fn scan_body(body: &[&Token]) -> (Vec<PanicSite>, Vec<CallRef>) {
             _ => {}
         }
     }
-    (sites, calls)
+    (sites, calls, call_pos)
+}
+
+/// For a call ident at `i` whose previous token is `::`: if the
+/// qualifier is a UFCS form `<Type as Trait>::name(…)` (or plain
+/// `<Type>::name(…)`), back-scans the matching angle brackets and
+/// returns the concrete type — the first identifier after the opening
+/// `<` — so the call resolves against the impl type like a plain
+/// `Type::name(…)` would.
+fn ufcs_qual(body: &[&Token], i: usize) -> Option<String> {
+    let close = i.checked_sub(2)?;
+    if body.get(close)?.text != ">" {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut k = close;
+    loop {
+        match body.get(k)?.text.as_str() {
+            ">" => depth += 1,
+            "<" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    // First identifier after the opening `<` is the concrete type.
+    body[k + 1..close]
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
 }
 
 #[cfg(test)]
@@ -458,6 +621,51 @@ mod tests {
         let (chain, _, site) = g
             .reachable_panic(node(&g, "lookup"))
             .expect("lookup reaches Map::probe's indexing");
+        assert_eq!(chain, vec!["lookup", "Map::probe"]);
+        assert_eq!(site.kind, PanicKind::Index);
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_impl_type() {
+        // `Self::helper()` must link to `Map::helper` — before the fix
+        // the qualifier "Self" matched no impl type and the edge (and
+        // the panic path behind it) was silently dropped.
+        let g = graph(&[(
+            "tao-overlay",
+            "crates/overlay/src/s.rs",
+            "pub struct Map;\n\
+             impl Map {\n\
+                 pub fn entry(&self) -> u32 { Self::helper(3) }\n\
+                 fn helper(i: usize) -> u32 { SLOTS[i] }\n\
+             }\n",
+        )]);
+        let (chain, _, site) = g
+            .reachable_panic(node(&g, "Map::entry"))
+            .expect("Self::helper edge must carry the panic path");
+        assert_eq!(chain, vec!["Map::entry", "Map::helper"]);
+        assert_eq!(site.kind, PanicKind::Index);
+    }
+
+    #[test]
+    fn ufcs_calls_resolve_to_the_concrete_type() {
+        // `<Map as Probe>::probe(…)` must link to `Map::probe` exactly
+        // like `Map::probe(…)` — the back-scan over the angle brackets
+        // recovers the concrete type.
+        let g = graph(&[
+            (
+                "tao-softstate",
+                "crates/softstate/src/m.rs",
+                "pub struct Map;\nimpl Probe for Map {\n    fn probe(&self, i: usize) -> u32 { self.slots[i] }\n}\n",
+            ),
+            (
+                "tao-core",
+                "crates/core/src/u.rs",
+                "pub fn lookup(m: &Map) -> u32 { <Map as Probe>::probe(m, 3) }\n",
+            ),
+        ]);
+        let (chain, _, site) = g
+            .reachable_panic(node(&g, "lookup"))
+            .expect("UFCS edge must carry the panic path");
         assert_eq!(chain, vec!["lookup", "Map::probe"]);
         assert_eq!(site.kind, PanicKind::Index);
     }

@@ -85,6 +85,11 @@ pub struct Item {
     pub lo: usize,
     /// End of the byte span (one past the last byte).
     pub hi: usize,
+    /// Code-token index span `[start, end)` of the whole item (signature
+    /// and body), indexing into the slice given to [`parse_items`]. The
+    /// dataflow passes scan this to see tokens the `body` range misses —
+    /// a `ByteWriter` parameter lives in the signature, not the body.
+    pub tok: (usize, usize),
     /// For items with a braced body: the code-token index range
     /// `(start, end)` *inside* the braces, exclusive of the braces
     /// themselves. Indexes into the same code-token slice given to
@@ -477,6 +482,7 @@ impl<'a> Parser<'a> {
             line: first.map_or(0, |t| t.line),
             lo: first.map_or(0, |t| t.lo),
             hi: last.map_or(0, |t| t.hi),
+            tok: (start, after.min(self.code.len())),
             body,
             children,
         }

@@ -28,6 +28,8 @@
 pub mod graph;
 pub mod items;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
+pub mod taint;
 pub mod walk;

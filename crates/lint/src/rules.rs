@@ -8,10 +8,14 @@
 //! collections they like — while the hermeticity rule
 //! (`no-registry-import`) applies everywhere.
 //!
-//! The four *structural* rules ([`Rule::PanicReachability`],
+//! The *structural* rules ([`Rule::PanicReachability`],
 //! [`Rule::CrateLayering`], [`Rule::SeedDiscipline`],
 //! [`Rule::UnusedWaiver`]) work on the item graph of [`crate::items`] and
-//! the approximate call graph of [`crate::graph`]; they need the whole
+//! the approximate call graph of [`crate::graph`], and the *dataflow*
+//! rules ([`Rule::DeterminismTaint`] in [`crate::taint`];
+//! [`Rule::LockOrderCycle`], [`Rule::LockPoison`],
+//! [`Rule::LockAcrossCall`], [`Rule::ScopeSharedMut`] in
+//! [`crate::locks`]) propagate facts along its edges; they need the whole
 //! workspace as context and therefore only run through
 //! [`lint_workspace`], not the single-file [`lint_source`].
 //!
@@ -65,10 +69,27 @@ pub enum Rule {
     /// A valid waiver pragma whose rule has no potential site in its
     /// scope: the code it excused no longer exists.
     UnusedWaiver,
+    /// A published sink (`ByteWriter` serialization, fingerprint/digest,
+    /// `results/` writer) transitively reachable from a nondeterminism
+    /// source (wall clock, `std::env`, thread identity, pointer cast,
+    /// `partial_cmp`, std hash iteration). See [`crate::taint`].
+    DeterminismTaint,
+    /// A cycle in the lock-acquisition order graph: two threads taking
+    /// the locks in opposite orders deadlock. See [`crate::locks`].
+    LockOrderCycle,
+    /// `.lock().unwrap()` / `.expect(…)` on a guard: escalates poisoning
+    /// into a panic instead of recovering or propagating.
+    LockPoison,
+    /// A call made while holding a lock whose callee transitively
+    /// acquires locks: the classic re-entrancy deadlock shape.
+    LockAcrossCall,
+    /// A `thread::scope`/`spawn`/`par_map` closure mutates captured
+    /// non-local state without a `Mutex`/channel step.
+    ScopeSharedMut,
 }
 
 /// Every enforced rule, in reporting order.
-pub const ALL_RULES: [Rule; 9] = [
+pub const ALL_RULES: [Rule; 14] = [
     Rule::DetCollections,
     Rule::NoWallClock,
     Rule::NoUnwrapInLib,
@@ -78,6 +99,11 @@ pub const ALL_RULES: [Rule; 9] = [
     Rule::CrateLayering,
     Rule::SeedDiscipline,
     Rule::UnusedWaiver,
+    Rule::DeterminismTaint,
+    Rule::LockOrderCycle,
+    Rule::LockPoison,
+    Rule::LockAcrossCall,
+    Rule::ScopeSharedMut,
 ];
 
 /// The token-level rules enforced by the single-file [`lint_source`].
@@ -189,6 +215,11 @@ impl Rule {
             Rule::CrateLayering => "crate-layering",
             Rule::SeedDiscipline => "seed-discipline",
             Rule::UnusedWaiver => "unused-waiver",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::LockPoison => "lock-poison",
+            Rule::LockAcrossCall => "lock-across-call",
+            Rule::ScopeSharedMut => "scope-shared-mut",
         }
     }
 
@@ -384,6 +415,8 @@ pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
         .collect();
     let graph = CallGraph::build(&graph_input);
     raw.extend(panic_reachability_findings(&graph));
+    raw.extend(crate::taint::taint_findings(&graph, &graph_input));
+    raw.extend(crate::locks::lock_findings(&graph, &graph_input));
 
     // Waiver application.
     let mut report = WorkspaceReport { files: files.len(), ..Default::default() };
@@ -426,6 +459,17 @@ pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
                     false
                 }
                 Rule::CrateLayering | Rule::SeedDiscipline => false,
+                // The dataflow rules anchor findings at graph-derived
+                // positions; an unconsumed pragma guards nothing.
+                Rule::DeterminismTaint
+                | Rule::LockOrderCycle
+                | Rule::LockAcrossCall
+                | Rule::ScopeSharedMut => false,
+                // Poison escapes are re-scanned relaxed (tests included):
+                // a belt-and-suspenders pragma on a real escape stays.
+                Rule::LockPoison => {
+                    crate::locks::poison_site_lines(&a.code).contains(&p.effective_line)
+                }
                 _ => relaxed
                     .iter()
                     .any(|f| f.rule == p.rule && f.line == p.effective_line),
@@ -885,16 +929,20 @@ fn collect_pragmas(
         };
         let rest = t.text[at + "tao-lint:".len()..].trim_start();
         match parse_pragma(rest) {
-            Ok((rule, _reason)) => {
+            Ok((rules, _reason)) => {
                 // A trailing pragma covers its own line; a pragma alone
-                // on a line covers the next.
+                // on a line covers the next. A multi-rule pragma
+                // (`allow(r1, r2, reason = "…")`) registers one waiver
+                // per rule on the same line.
                 let has_code_on_line = code.iter().any(|c| c.line == t.line);
-                pragmas.push(Pragma {
-                    rule,
-                    effective_line: if has_code_on_line { t.line } else { t.line + 1 },
-                    line: t.line,
-                    col: t.col,
-                });
+                for rule in rules {
+                    pragmas.push(Pragma {
+                        rule,
+                        effective_line: if has_code_on_line { t.line } else { t.line + 1 },
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
             }
             Err(why) => bad.push(Finding {
                 rule: Rule::BadPragma,
@@ -909,43 +957,61 @@ fn collect_pragmas(
     (pragmas, bad)
 }
 
-/// Parses `allow(<rule>, reason = "<non-empty>")`.
-fn parse_pragma(text: &str) -> Result<(Rule, String), String> {
+/// Parses `allow(<rule>[, <rule>…], reason = "<non-empty>")`. One pragma
+/// comment may waive several rules on the same line (a `lock().expect(…)`
+/// site needs both `no-unwrap-in-lib` and `lock-poison`); the single
+/// `reason` justifies them all.
+fn parse_pragma(text: &str) -> Result<(Vec<Rule>, String), String> {
     let body = text
         .strip_prefix("allow(")
         .ok_or_else(|| "pragma must be `allow(<rule>, reason = \"...\")`".to_string())?;
     let Some(close) = body.rfind(')') else {
         return Err("pragma is missing its closing `)`".to_string());
     };
-    let body = &body[..close];
-    let Some((rule_name, rest)) = body.split_once(',') else {
-        return Err(format!(
-            "pragma for `{}` needs a `, reason = \"...\"` justification",
-            body.trim()
-        ));
+    let mut rest = &body[..close];
+    let mut rules = Vec::new();
+    let rest = loop {
+        let Some((rule_name, tail)) = rest.split_once(',') else {
+            return Err(format!(
+                "pragma for `{}` needs a `, reason = \"...\"` justification",
+                rest.trim()
+            ));
+        };
+        let rule_name = rule_name.trim();
+        let rule = Rule::from_name(rule_name)
+            .ok_or_else(|| format!("pragma names unknown rule `{rule_name}`"))?;
+        rules.push(rule);
+        rest = tail;
+        if rest.trim_start().starts_with("reason") {
+            break rest.trim();
+        }
     };
-    let rule_name = rule_name.trim();
-    let rule = Rule::from_name(rule_name)
-        .ok_or_else(|| format!("pragma names unknown rule `{rule_name}`"))?;
-    let rest = rest.trim();
+    let names = || {
+        rules
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let reason = rest
         .strip_prefix("reason")
         .map(str::trim_start)
         .and_then(|r| r.strip_prefix('='))
         .map(str::trim)
         .ok_or_else(|| {
-            format!("pragma for `{rule_name}` needs `reason = \"...\"` after the rule")
+            format!("pragma for `{}` needs `reason = \"...\"` after the rule", names())
         })?;
     let reason = reason
         .strip_prefix('"')
         .and_then(|r| r.strip_suffix('"'))
-        .ok_or_else(|| format!("pragma reason for `{rule_name}` must be a quoted string"))?;
+        .ok_or_else(|| format!("pragma reason for `{}` must be a quoted string", names()))?;
     if reason.trim().is_empty() {
         return Err(format!(
-            "pragma for `{rule_name}` has an empty reason; justify the waiver"
+            "pragma for `{}` has an empty reason; justify the waiver",
+            names()
         ));
     }
-    Ok((rule, reason.to_string()))
+    Ok((rules, reason.to_string()))
 }
 
 #[cfg(test)]

@@ -1,0 +1,207 @@
+//! Golden test for the dataflow passes (determinism taint + concurrency
+//! analysis): each rule must fire on its violation fixture with the
+//! exact expected positions, messages, and witness chains, and stay
+//! quiet on its clean fixture. Fixtures are linted as a synthetic
+//! mini-workspace, so the golden is stable regardless of the real
+//! workspace's state.
+
+use tao_lint::rules::{lint_workspace, FileKind, Rule, SourceFile};
+
+/// `(path, crate, kind, source)` for every dataflow fixture.
+const FIXTURES: &[(&str, &str, FileKind, &str)] = &[
+    (
+        "crates/core/src/taint_violation.rs",
+        "tao-core",
+        FileKind::Lib,
+        include_str!("lint_fixtures/taint_violation.rs"),
+    ),
+    (
+        "crates/core/src/taint_clean.rs",
+        "tao-core",
+        FileKind::Lib,
+        include_str!("lint_fixtures/taint_clean.rs"),
+    ),
+    (
+        "crates/topology/src/lock_cycle_violation.rs",
+        "tao-topology",
+        FileKind::Lib,
+        include_str!("lint_fixtures/lock_cycle_violation.rs"),
+    ),
+    (
+        "crates/topology/src/lock_clean.rs",
+        "tao-topology",
+        FileKind::Lib,
+        include_str!("lint_fixtures/lock_clean.rs"),
+    ),
+    (
+        "crates/topology/src/lock_poison_violation.rs",
+        "tao-topology",
+        FileKind::Lib,
+        include_str!("lint_fixtures/lock_poison_violation.rs"),
+    ),
+    (
+        "crates/topology/src/lock_across_violation.rs",
+        "tao-topology",
+        FileKind::Lib,
+        include_str!("lint_fixtures/lock_across_violation.rs"),
+    ),
+    (
+        "crates/util/src/scope_mut_violation.rs",
+        "tao-util",
+        FileKind::Lib,
+        include_str!("lint_fixtures/scope_mut_violation.rs"),
+    ),
+    (
+        "crates/util/src/scope_mut_clean.rs",
+        "tao-util",
+        FileKind::Lib,
+        include_str!("lint_fixtures/scope_mut_clean.rs"),
+    ),
+];
+
+const GOLDEN: &str = include_str!("lint_fixtures/expected_dataflow.txt");
+
+const DATAFLOW_RULES: [Rule; 5] = [
+    Rule::DeterminismTaint,
+    Rule::LockOrderCycle,
+    Rule::LockPoison,
+    Rule::LockAcrossCall,
+    Rule::ScopeSharedMut,
+];
+
+fn sources() -> Vec<SourceFile> {
+    FIXTURES
+        .iter()
+        .map(|(path, krate, kind, source)| SourceFile {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            kind: *kind,
+            source: source.to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn dataflow_findings_match_golden_file() {
+    let report = lint_workspace(&sources());
+    let mut actual = String::new();
+    for finding in &report.findings {
+        actual.push_str(&finding.render());
+        actual.push('\n');
+    }
+    assert_eq!(
+        actual.trim_end(),
+        GOLDEN.trim_end(),
+        "\n--- actual findings ---\n{actual}\n--- update lint_fixtures/expected_dataflow.txt if this change is intended ---"
+    );
+}
+
+#[test]
+fn clean_fixtures_stay_quiet() {
+    let report = lint_workspace(&sources());
+    for f in &report.findings {
+        assert!(
+            !f.path.ends_with("_clean.rs"),
+            "clean fixture produced a finding: {}",
+            f.render()
+        );
+    }
+}
+
+#[test]
+fn every_dataflow_rule_fires_somewhere() {
+    let report = lint_workspace(&sources());
+    for rule in DATAFLOW_RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "no fixture exercises dataflow rule `{}`",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn dataflow_keys_are_line_free() {
+    // The stable keys must not contain line numbers, so the committed
+    // baseline does not churn when unrelated edits shift code.
+    let report = lint_workspace(&sources());
+    for f in &report.findings {
+        if !DATAFLOW_RULES.contains(&f.rule) {
+            continue;
+        }
+        let line_str = format!(":{}", f.line);
+        assert!(
+            !f.key.contains(&line_str),
+            "key `{}` embeds line {}",
+            f.key,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn taint_finding_carries_the_full_witness_chain() {
+    let report = lint_workspace(&sources());
+    let taint = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::DeterminismTaint)
+        .expect("taint fixture must fire");
+    assert!(
+        taint
+            .message
+            .contains("report_fingerprint → tuning_knob → knob_from_env"),
+        "witness chain missing from: {}",
+        taint.message
+    );
+    assert!(
+        taint.message.contains("taint_violation.rs:15"),
+        "source position missing from: {}",
+        taint.message
+    );
+}
+
+#[test]
+fn cycle_finding_names_both_edges_with_provenance() {
+    let report = lint_workspace(&sources());
+    let cycle = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::LockOrderCycle)
+        .expect("cycle fixture must fire");
+    assert!(
+        cycle.message.contains("lock_cycle_violation.a → lock_cycle_violation.b")
+            && cycle.message.contains("lock_cycle_violation.b → lock_cycle_violation.a"),
+        "cycle edges missing from: {}",
+        cycle.message
+    );
+    assert!(
+        cycle.message.contains("`Pair::forward`") && cycle.message.contains("`Pair::backward`"),
+        "edge provenance missing from: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn multi_rule_pragma_waives_each_listed_rule() {
+    // One comment, two rules: the `lock().expect(…)` line in the poison
+    // fixture carries `allow(no-unwrap-in-lib, …)` so only `lock-poison`
+    // remains; adding the second rule silences that too.
+    let src = "pub struct C {\n    m: std::sync::Mutex<u64>,\n}\n\
+               impl C {\n    pub fn get(&self) -> u64 {\n        \
+               *self.m.lock().expect(\"poisoned\") // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = \"fixture: both rules on one line\")\n    \
+               }\n}\n";
+    let report = lint_workspace(&[SourceFile {
+        path: "crates/topology/src/multi.rs".to_string(),
+        krate: "tao-topology".to_string(),
+        kind: FileKind::Lib,
+        source: src.to_string(),
+    }]);
+    assert!(
+        report.findings.is_empty(),
+        "multi-rule pragma must waive both rules: {:?}",
+        report.findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+    );
+    assert!(report.waived.iter().any(|(r, _, _)| *r == Rule::NoUnwrapInLib));
+    assert!(report.waived.iter().any(|(r, _, _)| *r == Rule::LockPoison));
+}

@@ -1,0 +1,21 @@
+//! Lock-across-call violation: `record` still holds `entries` when it
+//! calls `bump_stats`, which takes `stats` — a re-entrant path through
+//! `record` while `stats` is contended deadlocks.
+
+pub struct Registry {
+    entries: std::sync::Mutex<Vec<u64>>,
+    stats: std::sync::Mutex<u64>,
+}
+
+impl Registry {
+    pub fn record(&self, v: u64) {
+        let mut g = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        g.push(v);
+        self.bump_stats();
+    }
+
+    fn bump_stats(&self) {
+        let mut s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        *s += 1;
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean concurrency fixture: both paths take the locks in the same
+//! global order and recover from poisoning instead of escalating — the
+//! lock passes must stay quiet.
+
+pub struct Ordered {
+    first: std::sync::Mutex<u64>,
+    second: std::sync::Mutex<u64>,
+}
+
+impl Ordered {
+    pub fn sum(&self) -> u64 {
+        let a = self.first.lock().unwrap_or_else(|p| p.into_inner());
+        let b = self.second.lock().unwrap_or_else(|p| p.into_inner());
+        *a + *b
+    }
+
+    pub fn shift(&self, v: u64) {
+        let mut a = self.first.lock().unwrap_or_else(|p| p.into_inner());
+        let mut b = self.second.lock().unwrap_or_else(|p| p.into_inner());
+        *a += v;
+        *b -= v;
+    }
+}

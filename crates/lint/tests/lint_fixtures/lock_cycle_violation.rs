@@ -1,0 +1,21 @@
+//! Lock-order-cycle violation: `forward` takes `a` then `b`, `backward`
+//! takes `b` then `a`. Two threads running them concurrently deadlock.
+
+pub struct Pair {
+    a: std::sync::Mutex<u64>,
+    b: std::sync::Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        *ga - *gb
+    }
+}

@@ -1,0 +1,15 @@
+//! Lock-poison violation: `.expect(…)` on the guard escalates another
+//! thread's panic into one here. The `no-unwrap-in-lib` waiver does not
+//! cover the poison escape — that needs its own rule in the pragma.
+
+pub struct Counter {
+    inner: std::sync::Mutex<u64>,
+}
+
+impl Counter {
+    pub fn bump(&self) -> u64 {
+        let mut g = self.inner.lock().expect("counter poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "fixture exercises lock-poison alone")
+        *g += 1;
+        *g
+    }
+}

@@ -1,0 +1,19 @@
+//! Clean scope fixture: the shared accumulator is only touched through
+//! its `Mutex`, and per-task state stays closure-local — the sanctioned
+//! `par_map` discipline.
+
+pub fn tally(xs: &[u64]) -> u64 {
+    let total = std::sync::Mutex::new(0u64);
+    std::thread::scope(|s| {
+        for chunk in xs.chunks(2) {
+            s.spawn(|| {
+                let mut sum = 0u64;
+                for v in chunk {
+                    sum += v;
+                }
+                *total.lock().unwrap_or_else(|p| p.into_inner()) += sum;
+            });
+        }
+    });
+    total.into_inner().unwrap_or_else(|p| p)
+}

@@ -1,0 +1,17 @@
+//! Scope-shared-mut violation: the spawned closures mutate a captured
+//! accumulator directly — racing `+=` writes are lost or reordered
+//! nondeterministically.
+
+pub fn tally(xs: &[u64]) -> u64 {
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        for chunk in xs.chunks(2) {
+            s.spawn(|| {
+                for v in chunk {
+                    total += v;
+                }
+            });
+        }
+    });
+    total
+}

@@ -1,0 +1,14 @@
+//! Clean taint fixture: the fingerprint is a pure fold over its inputs,
+//! and the environment read exists but no call path connects it to a
+//! published sink — neither function may produce a finding.
+
+pub fn state_fingerprint(state: &[u64]) -> u64 {
+    state.iter().fold(0xcbf2_9ce4, |h, v| h ^ v)
+}
+
+pub fn worker_hint() -> usize {
+    std::env::var("TAO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,16 @@
+//! Determinism-taint violation: an environment read flows into a
+//! published fingerprint through two call hops. The finding anchors at
+//! the sink and carries the full witness chain.
+
+pub fn report_fingerprint(state: &[u64]) -> u64 {
+    let salt = tuning_knob();
+    state.iter().fold(salt, |h, v| h ^ v)
+}
+
+fn tuning_knob() -> u64 {
+    knob_from_env()
+}
+
+fn knob_from_env() -> u64 {
+    std::env::var("TAO_KNOB").map(|v| v.len() as u64).unwrap_or(0)
+}

@@ -194,6 +194,7 @@ impl Zone {
     }
 
     /// `true` if `other` lies entirely within `self`.
+    // tao-lint: allow(panic-reachability, reason = "axis indices run 0..dims() and both zones share the space's dimensionality by construction")
     pub fn contains_zone(&self, other: &Zone) -> bool {
         (0..self.dims()).all(|a| self.lo[a] <= other.lo[a] && other.hi[a] <= self.hi[a])
     }
@@ -202,6 +203,7 @@ impl Zone {
     ///
     /// The greedy CAN routing metric: it decreases monotonically along a
     /// correct route and hits zero at the owner's zone.
+    // tao-lint: allow(panic-reachability, reason = "axis indices run 0..dims(); the dimensionality match is asserted up front")
     pub fn distance_to_point(&self, p: &Point) -> f64 {
         assert_eq!(p.dims(), self.dims(), "dimensionality mismatch");
         let mut sum = 0.0;
@@ -223,6 +225,7 @@ impl Zone {
     }
 
     /// The zone clipped to `other`, if they intersect.
+    // tao-lint: allow(panic-reachability, reason = "axis indices run 0..dims() over two zones of the same space")
     pub fn intersection(&self, other: &Zone) -> Option<Zone> {
         if !self.intersects(other) {
             return None;
@@ -238,6 +241,7 @@ impl Zone {
 
     /// The aligned high-order box of side `2^-level` that contains this
     /// zone's centre. Level 0 is the whole space.
+    // tao-lint: allow(panic-reachability, reason = "aligned box bounds are finite and ordered for any level; from_bounds cannot reject them")
     pub fn enclosing_aligned_box(&self, level: u32) -> Zone {
         let side = 0.5f64.powi(level as i32);
         let c = self.center();

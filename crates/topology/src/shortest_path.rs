@@ -165,15 +165,15 @@ impl SpCache {
     /// exactly once.
     pub fn distances(&self, graph: &Graph, source: NodeIdx) -> Arc<Vec<SimDuration>> {
         loop {
-            if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+            if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                 return Arc::clone(hit);
             }
             // Claim the computation, or wait for whoever holds the claim.
             {
-                let mut fl = self.in_flight.lock().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                let mut fl = self.in_flight.lock().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                 if fl.contains(&source) {
                     while fl.contains(&source) {
-                        fl = self.flight_done.wait(fl).expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                        fl = self.flight_done.wait(fl).expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                     }
                     // The owner inserted before releasing its claim;
                     // re-read (the vector could only vanish to a flush
@@ -183,7 +183,7 @@ impl SpCache {
                 }
                 // A previous owner may have finished between our cache miss
                 // and taking this lock; don't recompute what just landed.
-                if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                if let Some(hit) = self.inner.read().expect("sp cache poisoned").get(&source) { // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                     return Arc::clone(hit);
                 }
                 fl.insert(source);
@@ -191,11 +191,11 @@ impl SpCache {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let computed = Arc::new(shortest_paths(graph, source));
             let result = {
-                let mut w = self.inner.write().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                let mut w = self.inner.write().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                 if w.len() >= self.capacity {
                     // Flush wholesale, but keep warm()-pinned vectors: the
                     // landmark set must never pay a second Dijkstra.
-                    let pinned = self.pinned.read().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                    let pinned = self.pinned.read().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                     if pinned.is_empty() {
                         w.clear();
                     } else {
@@ -206,7 +206,7 @@ impl SpCache {
             };
             self.in_flight
                 .lock()
-                .expect("sp cache poisoned") // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+                .expect("sp cache poisoned") // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
                 .remove(&source);
             self.flight_done.notify_all();
             return result;
@@ -217,7 +217,7 @@ impl SpCache {
     /// vectors survive capacity flushes until [`SpCache::clear`].
     pub fn warm(&self, graph: &Graph, sources: &[NodeIdx]) {
         for &s in sources {
-            self.pinned.write().expect("sp cache poisoned").insert(s); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+            self.pinned.write().expect("sp cache poisoned").insert(s); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
             let _ = self.distances(graph, s);
         }
     }
@@ -232,7 +232,7 @@ impl SpCache {
     /// landmark set costs one Dijkstra per landmark, not one per node.
     pub fn distance(&self, graph: &Graph, a: NodeIdx, b: NodeIdx) -> SimDuration {
         {
-            let r = self.inner.read().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+            let r = self.inner.read().expect("sp cache poisoned"); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
             if let Some(v) = r.get(&a) {
                 return v[b.index()];
             }
@@ -245,18 +245,18 @@ impl SpCache {
 
     /// Number of cached source vectors.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("sp cache poisoned").len() // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+        self.inner.read().expect("sp cache poisoned").len() // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
     }
 
     /// `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().expect("sp cache poisoned").is_empty() // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+        self.inner.read().expect("sp cache poisoned").is_empty() // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
     }
 
     /// Drops all cached vectors, pinned ones included.
     pub fn clear(&self) {
-        self.inner.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
-        self.pinned.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, reason = "sp cache poisoned")
+        self.inner.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
+        self.pinned.write().expect("sp cache poisoned").clear(); // tao-lint: allow(no-unwrap-in-lib, lock-poison, reason = "a panicked path computation poisons the cache; deterministic results cannot be guaranteed past that point, so escalating is correct")
     }
 }
 

@@ -134,6 +134,7 @@ impl BenchResult {
 /// workspace root (nearest ancestor with a `results/` sibling of
 /// Cargo.toml, or just the topmost Cargo.toml) so all crates share one
 /// results directory.
+// tao-lint: allow(determinism-taint, reason = "bench recorder only: cwd picks where timings land, never what the simulation publishes; replay fingerprints do not read bench.jsonl")
 pub fn results_path(file: &str) -> std::path::PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
     let mut root = dir.clone();

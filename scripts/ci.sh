@@ -35,13 +35,15 @@ echo "dependency guard: OK (tao-* path dependencies only)"
 RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline
 
-# ---- Lint stage: structural analysis, baseline-gated. -----------------------
+# ---- Lint stage: structural + dataflow analysis, baseline-gated. ------------
 # tao-lint derives the file set from the workspace manifests (its own crate
-# included), enforces the five token rules plus the four structural rules
+# included), enforces the five token rules, the four structural rules
 # (panic-reachability, crate-layering, seed-discipline, unused-waiver),
-# writes the stable JSON report, and diffs it against the committed
-# baseline: any finding not in lint-baseline.json fails CI, and so does a
-# stale baseline entry — the baseline only shrinks, never grows.
+# and the five dataflow rules (determinism-taint, lock-order-cycle,
+# lock-poison, lock-across-call, scope-shared-mut), writes the stable JSON
+# report, and diffs it against the committed baseline: any finding not in
+# lint-baseline.json fails CI, and so does a stale baseline entry — the
+# baseline only shrinks, never grows.
 cargo run --release --offline -p tao-lint -- --workspace \
     --json results/lint.json --baseline lint-baseline.json
 echo "lint stage: OK (matches lint-baseline.json)"
@@ -67,6 +69,92 @@ fi
 rm -f "$smoke"
 trap - EXIT
 echo "lint negative smoke: OK (injected layering violation fails the gate)"
+
+# Negative smoke: an injected lock-order inversion (two mutexes acquired in
+# opposite orders by two methods of the same type) must produce a
+# lock-order-cycle finding and fail the gate. Poison escapes are recovered
+# with into_inner so the cycle is the only new finding class.
+smoke=crates/topology/src/ci_lock_smoke.rs
+trap 'rm -f "$smoke"' EXIT
+cat > "$smoke" <<'EOF'
+pub struct SmokePair {
+    left: std::sync::Mutex<u64>,
+    right: std::sync::Mutex<u64>,
+}
+impl SmokePair {
+    pub fn forward(&self) -> u64 {
+        let l = self.left.lock().unwrap_or_else(|p| p.into_inner());
+        let r = self.right.lock().unwrap_or_else(|p| p.into_inner());
+        *l + *r
+    }
+    pub fn backward(&self) -> u64 {
+        let r = self.right.lock().unwrap_or_else(|p| p.into_inner());
+        let l = self.left.lock().unwrap_or_else(|p| p.into_inner());
+        *r - *l
+    }
+}
+EOF
+if cargo run --release --offline -p tao-lint -- --workspace \
+    --json /tmp/tao-lint-smoke.json --baseline lint-baseline.json >/dev/null 2>&1; then
+    rm -f "$smoke"
+    echo "FAIL: injected lock-order inversion was not caught by the lint stage." >&2
+    exit 1
+fi
+rm -f "$smoke"
+trap - EXIT
+echo "lint negative smoke: OK (injected lock-order inversion fails the gate)"
+
+# Negative smoke: an unwaived env-read flowing into a fingerprint function
+# must produce a determinism-taint finding and fail the gate.
+smoke=crates/core/src/ci_taint_smoke.rs
+trap 'rm -f "$smoke"' EXIT
+cat > "$smoke" <<'EOF'
+pub fn smoke_fingerprint(state: &[u64]) -> u64 {
+    let bias = std::env::var("TAO_SMOKE").map(|v| v.len() as u64).unwrap_or(0);
+    let mut acc = bias;
+    for v in state {
+        acc = acc.wrapping_mul(31).wrapping_add(*v);
+    }
+    acc
+}
+EOF
+if cargo run --release --offline -p tao-lint -- --workspace \
+    --json /tmp/tao-lint-smoke.json --baseline lint-baseline.json >/dev/null 2>&1; then
+    rm -f "$smoke"
+    echo "FAIL: injected env-read→fingerprint taint was not caught by the lint stage." >&2
+    exit 1
+fi
+rm -f "$smoke"
+trap - EXIT
+echo "lint negative smoke: OK (injected determinism taint fails the gate)"
+
+# JSON-shape check: the report from the honest run must expose all rules in
+# its per-rule summary (a missing key means a pass silently stopped running)
+# and carry the structural fields downstream tooling relies on.
+python3 - <<'EOF'
+import json, sys
+with open("results/lint.json") as fh:
+    report = json.load(fh)
+for field in ("version", "files_checked", "findings", "summary"):
+    if field not in report:
+        sys.exit(f"lint.json missing top-level field `{field}`")
+expected_rules = [
+    "det-collections", "no-wall-clock", "no-unwrap-in-lib",
+    "no-registry-import", "bad-pragma", "panic-reachability",
+    "crate-layering", "seed-discipline", "unused-waiver",
+    "determinism-taint", "lock-order-cycle", "lock-poison",
+    "lock-across-call", "scope-shared-mut",
+]
+missing = [r for r in expected_rules if r not in report["summary"]]
+if missing:
+    sys.exit(f"lint.json summary missing rule(s): {missing}")
+for f in report["findings"]:
+    for field in ("rule", "path", "line", "col", "key", "message"):
+        if field not in f:
+            sys.exit(f"lint.json finding missing field `{field}`: {f}")
+print(f"lint JSON shape: OK ({len(expected_rules)} rules in summary, "
+      f"{len(report['findings'])} findings)")
+EOF
 
 # ---- Determinism spot-check: same seed, byte-identical output. -------------
 # (The end_to_end suite asserts this in-process too; this catches any
