@@ -1,0 +1,127 @@
+//! Before/after micro-benchmarks of the zero-allocation routing engine:
+//! the allocating `route()` / `route_express()` oracles versus the
+//! `route_into()` / `route_express_into()` fast paths driving one reused
+//! [`RouteScratch`].
+//!
+//! In `--bench` mode the captured medians are merged into
+//! `results/BENCH_09.json` (`can_route_scratch` / `ecan_route_scratch`),
+//! where CI enforces the ≥3x routing-throughput floor. In smoke mode each
+//! closure runs once and nothing is written.
+
+use tao_overlay::ecan::{EcanOverlay, RandomSelector};
+use tao_overlay::{CanOverlay, OverlayNodeId, Point, RouteScratch};
+use tao_topology::NodeIdx;
+use tao_util::bench::{bench_fn_captured, black_box, BenchResult};
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
+
+use tao_bench::pinned::{upsert_bench_09, PinnedComparison};
+
+const NODES: u32 = 4_096;
+const PAIRS: usize = 256;
+
+fn grown_can(n: u32, seed: u64) -> CanOverlay {
+    let mut can = CanOverlay::new(2).expect("2-d CAN");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        can.join(NodeIdx(i), Point::random(2, &mut rng));
+    }
+    can
+}
+
+/// Fixed (source, target) pairs so before and after walk identical routes.
+fn route_pairs(can: &CanOverlay, seed: u64) -> Vec<(OverlayNodeId, Point)> {
+    let live: Vec<OverlayNodeId> = can.live_nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..PAIRS)
+        .map(|_| {
+            (
+                live[rng.gen_range(0..live.len())],
+                Point::random(2, &mut rng),
+            )
+        })
+        .collect()
+}
+
+fn comparison(
+    name: &str,
+    before_label: &str,
+    after_label: &str,
+    before: Option<BenchResult>,
+    after: Option<BenchResult>,
+) -> Option<PinnedComparison> {
+    let (b, a) = (before?, after?);
+    Some(PinnedComparison {
+        name: name.into(),
+        before: before_label.into(),
+        after: after_label.into(),
+        before_median_ns: b.median_ns,
+        after_median_ns: a.median_ns,
+    })
+}
+
+fn bench_can_routing(entries: &mut Vec<PinnedComparison>) {
+    let can = grown_can(NODES, 11);
+    let pairs = route_pairs(&can, 12);
+
+    let mut i = 0;
+    let before = bench_fn_captured("can_route_alloc_4k", || {
+        i = (i + 1) % pairs.len();
+        let (src, target) = &pairs[i];
+        let _ = black_box(can.route(*src, black_box(target)));
+    });
+
+    let mut scratch = RouteScratch::new();
+    let mut i = 0;
+    let after = bench_fn_captured("can_route_scratch_4k", || {
+        i = (i + 1) % pairs.len();
+        let (src, target) = &pairs[i];
+        let _ = black_box(can.route_into(&mut scratch, *src, black_box(target)));
+    });
+
+    entries.extend(comparison(
+        "can_route_scratch",
+        "route_alloc",
+        "route_into_scratch",
+        before,
+        after,
+    ));
+}
+
+fn bench_ecan_routing(entries: &mut Vec<PinnedComparison>) {
+    let can = grown_can(NODES, 13);
+    let pairs = route_pairs(&can, 14);
+    let ecan = EcanOverlay::build(can, &mut RandomSelector::new(15));
+
+    let mut i = 0;
+    let before = bench_fn_captured("ecan_route_alloc_4k", || {
+        i = (i + 1) % pairs.len();
+        let (src, target) = &pairs[i];
+        let _ = black_box(ecan.route_express(*src, black_box(target)));
+    });
+
+    let mut scratch = RouteScratch::new();
+    let mut i = 0;
+    let after = bench_fn_captured("ecan_route_scratch_4k", || {
+        i = (i + 1) % pairs.len();
+        let (src, target) = &pairs[i];
+        let _ = black_box(ecan.route_express_into(&mut scratch, *src, black_box(target)));
+    });
+
+    entries.extend(comparison(
+        "ecan_route_scratch",
+        "route_express_alloc",
+        "route_express_into_scratch",
+        before,
+        after,
+    ));
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    bench_can_routing(&mut entries);
+    bench_ecan_routing(&mut entries);
+    if !entries.is_empty() {
+        upsert_bench_09(&entries);
+    }
+}

@@ -5,16 +5,18 @@
 //!
 //! The two growths consume identical batches from identical plan seeds,
 //! so the final [`ChurnState::fingerprint`]s must be equal; the binary
-//! asserts that before writing `results/BENCH_07.json`. `TAO_WORKERS`
-//! bounds the prepare-phase thread pool; `TAO_SCALE=mini` shrinks the
-//! target to 32,768 nodes for smoke runs.
+//! asserts that before re-pinning its `flashcrowd_batch` entry into
+//! `results/BENCH_09.json` (paper scale only — mini smoke runs must not
+//! clobber the pinned medians). `TAO_WORKERS` bounds the prepare-phase
+//! thread pool; `TAO_SCALE=mini` shrinks the target to 32,768 nodes for
+//! smoke runs.
 
 use std::time::Instant;
 
+use tao_bench::pinned::{upsert_bench_09, PinnedComparison};
 use tao_bench::{f3, print_table, Scale};
 use tao_core::churn::{run_batch, BatchReport, ChurnState};
 use tao_sim::{FaultPlan, SimDuration, SimTime, Simulator, UniformLatency};
-use tao_util::bench::results_path;
 
 /// Overlay dimensionality for the sweep (the paper's CAN experiments
 /// run d = 2).
@@ -80,23 +82,6 @@ fn median(xs: &[f64]) -> f64 {
         v[v.len() / 2]
     } else {
         (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
-    }
-}
-
-/// Writes `results/BENCH_07.json` in the `BENCH_06.json` schema.
-fn write_bench_07(before_ns: f64, after_ns: f64) {
-    let body = format!(
-        "{{\n  \"pr\": 7,\n  \"comparisons\": [\n    {{\"name\": \"flashcrowd_batch\", \
-         \"before\": \"serial_oracle\", \"after\": \"parallel_dag\", \
-         \"before_median_ns\": {before_ns:.1}, \"after_median_ns\": {after_ns:.1}, \
-         \"speedup\": {:.2}}}\n  ]\n}}\n",
-        before_ns / after_ns.max(1e-9),
-    );
-    let path = results_path("BENCH_07.json");
-    if let Err(e) = std::fs::write(&path, body) {
-        eprintln!("fig_flashcrowd: could not write {}: {e}", path.display());
-    } else {
-        println!("fig_flashcrowd: wrote {}", path.display());
     }
 }
 
@@ -170,5 +155,13 @@ fn main() {
             ],
         ],
     );
-    write_bench_07(before_ns, after_ns);
+    if scale == Scale::Paper {
+        upsert_bench_09(&[PinnedComparison {
+            name: "flashcrowd_batch".into(),
+            before: "serial_oracle".into(),
+            after: "parallel_dag".into(),
+            before_median_ns: before_ns,
+            after_median_ns: after_ns,
+        }]);
+    }
 }

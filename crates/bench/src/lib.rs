@@ -15,6 +15,9 @@
 use tao_core::ExperimentParams;
 use tao_topology::TransitStubParams;
 
+pub mod pinned;
+pub mod replay;
+
 /// Experiment scale, selected via the `TAO_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -400,18 +400,18 @@ pub fn run_batch<M, L>(
     state: &mut ChurnState,
     ops: &[ChurnOp],
 ) -> BatchReport {
-    // The serial oracle never reads the footprints, so don't pay for
-    // them; the parallel path computes them concurrently (each is a
-    // read-only overlay query, a pure function of the pre-batch state).
-    let footprints = if sim.serial_oracle_enabled() {
+    // The serial oracle never reads the footprints, and at one effective
+    // worker the executor bypasses conflict analysis entirely — in both
+    // cases don't pay for them. The parallel path computes them
+    // concurrently (each is a read-only overlay query, a pure function of
+    // the pre-batch state).
+    let workers = tao_util::par::workers();
+    let footprints = if sim.serial_oracle_enabled() || workers == 1 {
         Vec::new()
+    } else if ops.len() > 64 {
+        tao_util::par::par_map(ops.iter().collect(), workers, |op| state.op_footprint(op))
     } else {
-        let workers = tao_util::par::workers();
-        if workers > 1 && ops.len() > 64 {
-            tao_util::par::par_map(ops.iter().collect(), workers, |op| state.op_footprint(op))
-        } else {
-            state.footprints(ops)
-        }
+        state.footprints(ops)
     };
     let outcome = sim.run_churn_batch(
         state,

@@ -52,6 +52,33 @@ impl LoadModel {
         LoadModel { stats }
     }
 
+    /// Creates a model where every node has the same `capacity`, initially
+    /// idle — the no-skew baseline the replay harness compares the
+    /// heterogeneous mix against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn uniform(nodes: impl IntoIterator<Item = OverlayNodeId>, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be a positive finite number"
+        );
+        let stats = nodes
+            .into_iter()
+            .map(|n| {
+                (
+                    n,
+                    LoadStats {
+                        capacity,
+                        current_load: 0.0,
+                    },
+                )
+            })
+            .collect();
+        LoadModel { stats }
+    }
+
     /// The current statistics of `node`.
     pub fn stats(&self, node: OverlayNodeId) -> Option<LoadStats> {
         self.stats.get(&node).copied()
@@ -74,6 +101,23 @@ impl LoadModel {
     pub fn reset(&mut self, node: OverlayNodeId) {
         if let Some(s) = self.stats.get_mut(&node) {
             s.current_load = 0.0;
+        }
+    }
+
+    /// Exponentially decays every node's load by `factor` — the soft-state
+    /// aging step the replay harness applies between rounds so stale load
+    /// reports fade instead of accumulating forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `[0, 1]`.
+    pub fn decay(&mut self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "decay factor must be in [0, 1]"
+        );
+        for (_, s) in self.stats.iter_mut() {
+            s.current_load *= factor;
         }
     }
 
@@ -232,5 +276,40 @@ mod tests {
     fn negative_load_is_rejected() {
         let mut model = LoadModel::heterogeneous([OverlayNodeId(0)], 0);
         model.add_load(OverlayNodeId(0), -1.0);
+    }
+
+    #[test]
+    fn uniform_model_gives_every_node_the_same_capacity() {
+        let nodes: Vec<OverlayNodeId> = (0..32).map(OverlayNodeId).collect();
+        let model = LoadModel::uniform(nodes.iter().copied(), 4.0);
+        assert!(model.iter().all(|(_, s)| s.capacity == 4.0));
+        assert!(model.iter().all(|(_, s)| s.current_load == 0.0));
+        assert_eq!(model.iter().count(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn uniform_rejects_zero_capacity() {
+        let _ = LoadModel::uniform([OverlayNodeId(0)], 0.0);
+    }
+
+    #[test]
+    fn decay_scales_load_and_keeps_capacity() {
+        let mut model = LoadModel::uniform([OverlayNodeId(0), OverlayNodeId(1)], 2.0);
+        model.add_load(OverlayNodeId(0), 8.0);
+        model.add_load(OverlayNodeId(1), 2.0);
+        model.decay(0.5);
+        assert_eq!(model.stats(OverlayNodeId(0)).unwrap().current_load, 4.0);
+        assert_eq!(model.stats(OverlayNodeId(1)).unwrap().current_load, 1.0);
+        assert_eq!(model.stats(OverlayNodeId(0)).unwrap().capacity, 2.0);
+        model.decay(0.0);
+        assert_eq!(model.stats(OverlayNodeId(0)).unwrap().current_load, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_rejects_factor_above_one() {
+        let mut model = LoadModel::uniform([OverlayNodeId(0)], 1.0);
+        model.decay(1.5);
     }
 }

@@ -33,6 +33,7 @@ use std::fmt;
 use tao_topology::NodeIdx;
 
 use crate::point::Point;
+use crate::scratch::RouteScratch;
 use crate::zone::Zone;
 use crate::zone_index::{IndexHit, ZoneIndex};
 
@@ -266,15 +267,37 @@ impl CanOverlay {
 
     /// `true` if node `i` owns `p` through any of its zones (primary
     /// first, then takeovers — the order the zones were acquired).
-    fn node_owns_point(&self, i: usize, p: &Point) -> bool {
+    pub(crate) fn node_owns_point(&self, i: usize, p: &Point) -> bool {
         if bounds_contain(self.primary_lo(i), self.primary_hi(i), p) {
             return true;
         }
         self.extra[i].iter().any(|z| z.contains(p))
     }
 
+    /// `true` while no node has ever departed. Every takeover pushes the
+    /// departed primary into the taker's extra-zone list and nothing ever
+    /// removes one, so this is exactly "no extra zones exist anywhere" —
+    /// the scratch routing fast paths use it to skip the per-node extra
+    /// lists (a random memory touch per candidate) and read only the flat
+    /// SoA bounds.
+    pub(crate) fn is_pristine(&self) -> bool {
+        self.live_count == self.underlay.len()
+    }
+
+    /// Distance from node `i`'s *primary* zone to `p` — identical to
+    /// [`CanOverlay::node_distance`] when [`CanOverlay::is_pristine`].
+    pub(crate) fn primary_distance(&self, i: usize, p: &Point) -> f64 {
+        bounds_distance(self.primary_lo(i), self.primary_hi(i), p)
+    }
+
+    /// `true` if node `i`'s *primary* zone contains `p` — identical to
+    /// [`CanOverlay::node_owns_point`] when [`CanOverlay::is_pristine`].
+    pub(crate) fn primary_owns_point(&self, i: usize, p: &Point) -> bool {
+        bounds_contain(self.primary_lo(i), self.primary_hi(i), p)
+    }
+
     /// Minimum torus distance from any of node `i`'s zones to `p`.
-    fn node_distance(&self, i: usize, p: &Point) -> f64 {
+    pub(crate) fn node_distance(&self, i: usize, p: &Point) -> f64 {
         let mut d = bounds_distance(self.primary_lo(i), self.primary_hi(i), p);
         for z in &self.extra[i] {
             d = d.min(z.distance_to_point(p));
@@ -866,7 +889,10 @@ impl CanOverlay {
         // at zone corners, so permit sideways moves but never revisit.
         let mut visited: DetSet<OverlayNodeId> = DetSet::new();
         visited.insert(source);
-        let limit = 4 * self.underlay.len() + 16;
+        // Bound on *live* nodes, not arena slots: a route can only visit
+        // live nodes, so dead slots left behind by churn must not inflate
+        // how long a stuck route is allowed to wander.
+        let limit = 4 * self.live_count + 16;
         while !self.node_owns_point(current.index(), target) {
             if hops.len() > limit {
                 return Err(OverlayError::RoutingStuck { at: current });
@@ -886,6 +912,102 @@ impl CanOverlay {
             current = next;
         }
         Ok(Route { hops })
+    }
+
+    /// Node `i`'s sorted neighbor list, without the liveness check or the
+    /// clone of the public [`CanOverlay::neighbors`] accessor.
+    pub(crate) fn neighbor_slice(&self, i: usize) -> &[OverlayNodeId] {
+        &self.neighbors[i]
+    }
+
+    /// Allocation-free variant of [`CanOverlay::route`]: same checks, same
+    /// hop sequence, same errors, but the visited set and hop buffer live
+    /// in `scratch` and are reused across calls. On success the hop
+    /// sequence (source first) is in [`RouteScratch::hops`]; on error the
+    /// scratch is still reusable.
+    // tao-lint: allow(panic-reachability, reason = "scratch stamps are sized by begin_can(id_bound()) before any mark; the greedy tail indexes bounds by live ids validated by ensure_live")
+    pub fn route_into(
+        &self,
+        scratch: &mut RouteScratch,
+        source: OverlayNodeId,
+        target: &Point,
+    ) -> Result<(), OverlayError> {
+        if target.dims() != self.dims {
+            return Err(OverlayError::DimensionMismatch {
+                expected: self.dims,
+                got: target.dims(),
+            });
+        }
+        self.ensure_live(source)?;
+        scratch.begin_can(self.id_bound());
+        scratch.push_hop(source);
+        self.route_append(scratch, source, target)
+    }
+
+    /// Routes greedily from `start` (assumed live) toward the owner of
+    /// `target`, appending hops after `start` to `scratch.hops` under a
+    /// *fresh* visited generation — exactly the hop sequence the allocating
+    /// [`CanOverlay::route`] would produce after its own `vec![start]`.
+    ///
+    /// Shared by [`CanOverlay::route_into`] and the eCAN stuck-fallback,
+    /// which splices this tail onto an express prefix (the oracle there
+    /// calls `can.route(...)` with a fresh `DetSet`, hence the fresh
+    /// generation here).
+    pub(crate) fn route_append(
+        &self,
+        scratch: &mut RouteScratch,
+        start: OverlayNodeId,
+        target: &Point,
+    ) -> Result<(), OverlayError> {
+        scratch.refresh_visited(self.id_bound());
+        scratch.mark(start.index());
+        let mut current = start;
+        // Mirrors the length of the oracle's per-call `hops` Vec, which in
+        // the eCAN fallback restarts at 1 regardless of the prefix.
+        let mut seg_len = 1usize;
+        let limit = 4 * self.live_count + 16;
+        // Extra zones exist iff some node has departed (every takeover
+        // pushes exactly one primary into the taker's extras and nothing
+        // ever removes one), so a pristine overlay can skip the per-node
+        // extra-zone lists — an entire random memory touch per candidate —
+        // and read only the flat SoA bounds. The primary-only arithmetic
+        // is `node_distance`'s own first step, so the values are identical.
+        let pristine = self.is_pristine();
+        while !(if pristine {
+            self.primary_owns_point(current.index(), target)
+        } else {
+            self.node_owns_point(current.index(), target)
+        }) {
+            if seg_len > limit {
+                return Err(OverlayError::RoutingStuck { at: current });
+            }
+            // Single pass over the SoA bounds: each candidate's distance is
+            // computed once, vs twice per comparison under `min_by`.
+            // Neighbor lists are sorted by id and only a *strictly* smaller
+            // distance (total_cmp) displaces the incumbent, which is the
+            // first-of-equal-minima / then-id-tie-break rule of the oracle.
+            let mut best: Option<(f64, OverlayNodeId)> = None;
+            for &n in &self.neighbors[current.index()] {
+                if scratch.is_marked(n.index()) {
+                    continue;
+                }
+                let d = if pristine {
+                    self.primary_distance(n.index(), target)
+                } else {
+                    self.node_distance(n.index(), target)
+                };
+                if !matches!(&best, Some((bd, _)) if bd.total_cmp(&d) != std::cmp::Ordering::Greater)
+                {
+                    best = Some((d, n));
+                }
+            }
+            let (_, next) = best.ok_or(OverlayError::RoutingStuck { at: current })?;
+            scratch.mark(next.index());
+            scratch.push_hop(next);
+            seg_len += 1;
+            current = next;
+        }
+        Ok(())
     }
 
     /// Verifies structural invariants; used by tests and debug assertions.

@@ -334,6 +334,51 @@ impl ChordOverlay {
         Ok(ChordRoute { hops })
     }
 
+    /// Allocation-free variant of [`ChordOverlay::route`]: same hop
+    /// sequence and errors, with the hop buffer reused from `scratch`. On
+    /// success the hop sequence (start first) is in
+    /// [`RouteScratch::ring_hops`](crate::RouteScratch::ring_hops); on
+    /// error the scratch is still reusable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChordOverlay::route`].
+    // tao-lint: allow(panic-reachability, reason = "routing walks finger tables of live members only; every hop id is a ring member by construction")
+    pub fn route_into(
+        &self,
+        scratch: &mut crate::RouteScratch,
+        start: RingId,
+        key: RingId,
+    ) -> Result<(), ChordError> {
+        if !self.nodes.contains_key(&start) {
+            return Err(ChordError::UnknownNode(start));
+        }
+        let home = self.successor(key)?;
+        scratch.begin_ring();
+        scratch.push_ring_hop(start);
+        let mut current = start;
+        while current != home {
+            let remaining = Self::clockwise(current, key);
+            let next = self
+                .fingers(current)
+                .iter()
+                .map(|f| f.target)
+                .filter(|&t| Self::clockwise(current, t) <= remaining.max(1))
+                .max_by_key(|&t| Self::clockwise(current, t));
+            let next = match next {
+                Some(n) if n != current => n,
+                _ => self.successor(current.wrapping_add(1))?,
+            };
+            scratch.push_ring_hop(next);
+            current = next;
+            if scratch.ring_hops_len() > 2 * self.nodes.len() + 8 {
+                // Defensive: cannot loop on a consistent ring.
+                unreachable!("chord routing exceeded the hop bound");
+            }
+        }
+        Ok(())
+    }
+
     /// Asserts the ring's structural invariants, panicking with a
     /// description on the first violation:
     ///

@@ -718,6 +718,92 @@ impl EcanOverlay {
         Ok(Route { hops })
     }
 
+    /// Allocation-free variant of [`EcanOverlay::route_express`]: same
+    /// checks, same hop sequence, same errors, with the visited set and hop
+    /// buffer reused from `scratch` and candidate distances computed once
+    /// per hop in a single pass over the SoA bounds (the allocating path
+    /// also clones the default-neighbor list every hop). On success the hop
+    /// sequence (source first) is in
+    /// [`RouteScratch::hops`](crate::RouteScratch::hops); on error the
+    /// scratch is still reusable.
+    // tao-lint: allow(panic-reachability, reason = "scratch stamps are sized by begin_can(id_bound()) before any mark; distances index bounds by live ids and the stuck-fallback delegates to route_append's guarded edges")
+    pub fn route_express_into(
+        &self,
+        scratch: &mut crate::RouteScratch,
+        source: OverlayNodeId,
+        target: &Point,
+    ) -> Result<(), OverlayError> {
+        if target.dims() != self.can.dims() {
+            return Err(OverlayError::DimensionMismatch {
+                expected: self.can.dims(),
+                got: target.dims(),
+            });
+        }
+        if !self.can.is_live(source) {
+            return Err(OverlayError::UnknownNode(source));
+        }
+        scratch.begin_can(self.can.id_bound());
+        scratch.push_hop(source);
+        scratch.mark(source.index());
+        let mut current = source;
+        let limit = 4 * self.can.len() + 16;
+        // See `CanOverlay::is_pristine`: join-only overlays have no extra
+        // zones, so the primary-only kernels are exact and skip a random
+        // memory touch per candidate.
+        let pristine = self.can.is_pristine();
+        while !(if pristine {
+            self.can.primary_owns_point(current.index(), target)
+        } else {
+            self.can.node_owns_point(current.index(), target)
+        }) {
+            if scratch.hops_len() > limit {
+                return Err(OverlayError::RoutingStuck { at: current });
+            }
+            // The candidate chain (default neighbors, then express reps) is
+            // not id-sorted, so the incumbent is displaced on a strictly
+            // smaller (distance, id) pair — the total_cmp-then-id order the
+            // allocating path's `min_by` uses. Duplicate ids across the two
+            // segments compare Equal and keep the first, which is the same
+            // node either way.
+            let mut best: Option<(f64, OverlayNodeId)> = None;
+            let defaults = self.can.neighbor_slice(current.index()).iter().copied();
+            let express = self
+                .tables
+                .get(current.index())
+                .map(|t| t.entries.as_slice())
+                .unwrap_or(&[])
+                .iter()
+                .map(|e| OverlayNodeId(e.rep));
+            for n in defaults.chain(express) {
+                if scratch.is_marked(n.index()) || !self.can.is_live(n) {
+                    continue;
+                }
+                let d = if pristine {
+                    self.can.primary_distance(n.index(), target)
+                } else {
+                    self.can.node_distance(n.index(), target)
+                };
+                let better = match &best {
+                    Some((bd, bn)) => d.total_cmp(bd).then(n.cmp(bn)).is_lt(),
+                    None => true,
+                };
+                if better {
+                    best = Some((d, n));
+                }
+            }
+            let Some((_, next)) = best else {
+                // Same stuck-fallback as the allocating path: default CAN
+                // routing from here on a fresh visited generation, tail
+                // spliced after the express prefix.
+                return self.can.route_append(scratch, current, target);
+            };
+            scratch.mark(next.index());
+            scratch.push_hop(next);
+            current = next;
+        }
+        Ok(())
+    }
+
     /// Asserts the eCAN's structural invariants, panicking with a
     /// description on the first violation:
     ///

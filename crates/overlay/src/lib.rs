@@ -45,11 +45,13 @@ pub mod dv;
 pub mod ecan;
 pub mod pastry;
 mod point;
+mod scratch;
 pub mod tacan;
 mod zone;
 mod zone_index;
 
 pub use can::{CanOverlay, OverlayError, OverlayNodeId, Route};
 pub use point::Point;
+pub use scratch::RouteScratch;
 pub use tacan::TaCanOverlay;
 pub use zone::Zone;

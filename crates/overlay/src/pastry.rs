@@ -453,6 +453,78 @@ impl PastryOverlay {
         Ok(PastryRoute { hops })
     }
 
+    /// Allocation-free variant of [`PastryOverlay::route`]: same hop
+    /// sequence and errors, with the hop buffer reused from `scratch`. On
+    /// success the hop sequence (start first) is in
+    /// [`RouteScratch::ring_hops`](crate::RouteScratch::ring_hops); on
+    /// error the scratch is still reusable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PastryOverlay::route`].
+    // tao-lint: allow(panic-reachability, reason = "the unreachable! hop bound mirrors the allocating oracle's defensive invariant; the expect is guarded by the membership check on every hop")
+    pub fn route_into(
+        &self,
+        scratch: &mut crate::RouteScratch,
+        start: PastryId,
+        key: PastryId,
+    ) -> Result<(), PastryError> {
+        if !self.nodes.contains_key(&start) {
+            return Err(PastryError::UnknownNode(start));
+        }
+        let root = self.root_of(key)?;
+        scratch.begin_ring();
+        scratch.push_ring_hop(start);
+        let mut current = start;
+        while current != root {
+            let p = shared_prefix_len(current, key);
+            let wanted = digit(key, p.min(DIGITS - 1));
+            let next = self
+                .table_entry(current, p, wanted)
+                .filter(|&n| self.nodes.contains_key(&n))
+                .or_else(|| {
+                    let here = ring_distance(current, key);
+                    self.leaves(current)
+                        .iter()
+                        .copied()
+                        .chain(
+                            self.nodes
+                                .get(&current)
+                                .expect("current is present") // tao-lint: allow(no-unwrap-in-lib, reason = "current is present")
+                                .table
+                                .iter()
+                                .flatten()
+                                .copied(),
+                        )
+                        .filter(|&n| self.nodes.contains_key(&n))
+                        .filter(|&n| ring_distance(n, key) < here)
+                        .min_by_key(|&n| (ring_distance(n, key), n))
+                });
+            let Some(next) = next else {
+                let step = self
+                    .leaves(current)
+                    .iter()
+                    .copied()
+                    .min_by_key(|&n| (ring_distance(n, key), n))
+                    .filter(|&n| ring_distance(n, key) < ring_distance(current, key));
+                match step {
+                    Some(n) => {
+                        scratch.push_ring_hop(n);
+                        current = n;
+                        continue;
+                    }
+                    None => break, // numerically closest known node reached
+                }
+            };
+            scratch.push_ring_hop(next);
+            current = next;
+            if scratch.ring_hops_len() > 2 * self.nodes.len() + 8 {
+                unreachable!("pastry routing exceeded the hop bound");
+            }
+        }
+        Ok(())
+    }
+
     /// Asserts the overlay's structural invariants, panicking with a
     /// description on the first violation:
     ///

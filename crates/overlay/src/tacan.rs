@@ -174,6 +174,22 @@ impl TaCanOverlay {
         self.can.route(source, target)
     }
 
+    /// Allocation-free variant of [`TaCanOverlay::route`]; see
+    /// [`CanOverlay::route_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CanOverlay::route`].
+    // tao-lint: allow(panic-reachability, reason = "delegates to CanOverlay::route_into, whose panic edges are guarded by its own scratch sizing and liveness checks")
+    pub fn route_into(
+        &self,
+        scratch: &mut crate::RouteScratch,
+        source: OverlayNodeId,
+        target: &Point,
+    ) -> Result<(), OverlayError> {
+        self.can.route_into(scratch, source, target)
+    }
+
     /// Imbalance statistics over the current membership — the quantities
     /// behind the paper's §1 claim.
     ///

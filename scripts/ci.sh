@@ -301,26 +301,58 @@ best = max(c["speedup"] for c in queue)
 assert best >= 5.0, f"committed event-queue speedup regressed below 5x: {best}"
 print(f"BENCH_06.json: OK ({len(comparisons)} comparisons, best event-queue speedup {best}x)")
 EOF
-# The PR-7 flash-crowd serial-vs-parallel medians must parse and keep
-# their shape whenever the fig_flashcrowd sweep has been run.
-if [ -f results/BENCH_07.json ]; then
-    python3 - <<'EOF'
+# The pinned PR-9 baselines — zero-allocation routing engine, parallel
+# replay, flash-crowd re-pin — must parse, keep the shared schema, and
+# record the ≥3x routing-throughput floor the scratch router was landed
+# for. (BENCH_09.json is a merge target: perf_routing, sec6_replay and
+# fig_flashcrowd each re-pin only their own entries.)
+python3 - <<'EOF'
 import json
-with open("results/BENCH_07.json") as f:
+with open("results/BENCH_09.json") as f:
     doc = json.load(f)
-assert doc["pr"] == 7, f"BENCH_07.json carries wrong pr: {doc['pr']}"
+assert doc["pr"] == 9, f"BENCH_09.json carries wrong pr: {doc['pr']}"
 comparisons = doc["comparisons"]
-assert comparisons, "BENCH_07.json has no comparisons"
+assert comparisons, "BENCH_09.json has no comparisons"
 for c in comparisons:
     for key in ("name", "before", "after", "before_median_ns", "after_median_ns", "speedup"):
         assert key in c, f"comparison missing {key!r}: {c}"
+names = [c["name"] for c in comparisons]
+assert names == sorted(names), f"BENCH_09.json comparisons not sorted: {names}"
+routing = [c for c in comparisons if c["name"].endswith("_route_scratch")]
+assert routing, "BENCH_09.json records no *_route_scratch comparison"
+best = max(c["speedup"] for c in routing)
+assert best >= 3.0, f"committed scratch-router speedup regressed below 3x: {best}"
 flash = [c for c in comparisons if c["name"] == "flashcrowd_batch"]
-assert flash, "BENCH_07.json records no flashcrowd_batch comparison"
+assert flash, "BENCH_09.json records no flashcrowd_batch comparison"
 assert flash[0]["before"] == "serial_oracle" and flash[0]["after"] == "parallel_dag"
-print(f"BENCH_07.json: OK ({len(comparisons)} serial-vs-parallel comparisons)")
+replay = [c for c in comparisons if c["name"] == "replay_parallel"]
+assert replay, "BENCH_09.json records no replay_parallel comparison"
+print(f"BENCH_09.json: OK ({len(comparisons)} comparisons, "
+      f"best scratch-router speedup {best}x)")
 EOF
-fi
 echo "perf smoke: OK"
+
+# ---- Replay determinism: fingerprint stable across worker counts. -----------
+# The §6 replay harness must print the same report fingerprint no matter
+# how many workers fan the requests out, in separate processes. (The
+# binary additionally asserts serial-vs-parallel equality in-process.)
+replay_fingerprint() {
+    TAO_SCALE=mini TAO_WORKERS="$1" cargo run -q --release --offline \
+        -p tao-bench --bin sec6_replay 2>/dev/null | grep '^REPLAY_FINGERPRINT'
+}
+rfp1=$(replay_fingerprint 1)
+rfp8=$(replay_fingerprint 8)
+if [ -z "$rfp1" ] || [ -z "$rfp8" ]; then
+    echo "FAIL: sec6_replay produced no REPLAY_FINGERPRINT line." >&2
+    exit 1
+fi
+if [ "$rfp1" != "$rfp8" ]; then
+    echo "FAIL: replay fingerprint diverged across worker counts." >&2
+    echo "  TAO_WORKERS=1: $rfp1" >&2
+    echo "  TAO_WORKERS=8: $rfp8" >&2
+    exit 1
+fi
+echo "replay determinism: OK ($rfp1)"
 
 # ---- Waiver audit: wall-clock reads stay confined and justified. ------------
 # tao-lint already fails unwaived Instant::now sites; this audit additionally

@@ -23,7 +23,8 @@ for b in fig02_ecan_vs_can fig02_million_churn fig03_06_nearest_neighbor \
          fig10_13_stretch_vs_rtts fig14_15_stretch_vs_nodes fig16_condense_rate \
          sec1_tacan_imbalance sec52_pubsub_maintenance sec54_gap_breakdown \
          sec6_load_aware ablation_sfc ablation_lvi generality \
-         related_coordinates join_cost sec54_optimizations fig_flashcrowd; do
+         related_coordinates join_cost sec54_optimizations fig_flashcrowd \
+         sec6_replay; do
   echo ">>> $b (TAO_SCALE=$TAO_SCALE TAO_WORKERS=$TAO_WORKERS)"
   start=$SECONDS
   ./target/release/"$b" 2> "results/$b.err" | tee "results/$b.txt"
