@@ -84,17 +84,20 @@ impl LoadModel {
         self.stats.get(&node).copied()
     }
 
-    /// Adds `amount` of load onto `node`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is unknown or `amount` is negative.
-    pub fn add_load(&mut self, node: OverlayNodeId, amount: f64) {
-        assert!(amount >= 0.0, "load must be non-negative");
-        self.stats
-            .get_mut(&node)
-            .expect("unknown node in load model") // tao-lint: allow(no-unwrap-in-lib, reason = "unknown node in load model")
-            .current_load += amount;
+    /// Adds `amount` of load onto `node`. Returns `false` — and applies
+    /// nothing — if `node` is unknown or `amount` is negative, so a stale
+    /// report about a departed node cannot take the harness down.
+    pub fn add_load(&mut self, node: OverlayNodeId, amount: f64) -> bool {
+        if amount < 0.0 {
+            return false;
+        }
+        match self.stats.get_mut(&node) {
+            Some(s) => {
+                s.current_load += amount;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Resets `node`'s load to zero.
@@ -272,10 +275,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
     fn negative_load_is_rejected() {
         let mut model = LoadModel::heterogeneous([OverlayNodeId(0)], 0);
-        model.add_load(OverlayNodeId(0), -1.0);
+        assert!(!model.add_load(OverlayNodeId(0), -1.0));
+        let before = model.stats(OverlayNodeId(0)).unwrap().current_load;
+        assert_eq!(before, 0.0, "a rejected report must not change the load");
+    }
+
+    #[test]
+    fn unknown_node_load_is_rejected() {
+        let mut model = LoadModel::heterogeneous([OverlayNodeId(0)], 0);
+        assert!(!model.add_load(OverlayNodeId(7), 1.0));
+        assert!(model.add_load(OverlayNodeId(0), 1.0));
+        assert_eq!(model.stats(OverlayNodeId(0)).unwrap().current_load, 1.0);
     }
 
     #[test]

@@ -78,9 +78,11 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples")); // tao-lint: allow(no-unwrap-in-lib, reason = "finite samples")
+        // total_cmp matches partial_cmp on the finite samples `add`
+        // accepts, and cannot panic on a NaN that slips through.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[rank]
+        sorted.get(rank.min(sorted.len() - 1)).copied().unwrap_or(0.0)
     }
 
     /// Sample standard deviation, or 0.0 with fewer than two samples.

@@ -129,9 +129,14 @@ impl HilbertCurve {
         if self.dims == 1 {
             return point[0] as u128;
         }
-        let mut x = point.to_vec();
-        self.axes_to_transpose(&mut x);
-        self.interleave(&x)
+        // `dims * bits <= 128` with `bits >= 1` caps `dims` at 128, so the
+        // transpose scratch fits on the stack — `index` is called from
+        // overlay hot paths and must not heap-allocate.
+        let mut buf = [0u32; 128];
+        let x = &mut buf[..self.dims];
+        x.copy_from_slice(point);
+        self.axes_to_transpose(x);
+        self.interleave(x)
     }
 
     /// Maps a position along the curve back to its point.
@@ -180,14 +185,17 @@ impl HilbertCurve {
             }
             q >>= 1;
         }
-        // Gray encode.
-        for i in 1..n {
-            x[i] ^= x[i - 1];
+        // Gray encode: running prefix XOR, so `prev` ends up holding the
+        // final element without any `x[i - 1]` offset indexing.
+        let mut prev = x[0];
+        for v in x.iter_mut().skip(1) {
+            *v ^= prev;
+            prev = *v;
         }
         let mut t = 0;
         let mut q = m;
         while q > 1 {
-            if x[n - 1] & q != 0 {
+            if prev & q != 0 {
                 t ^= q - 1;
             }
             q >>= 1;

@@ -1,0 +1,245 @@
+//! The alloc-reachability pass: a zero-allocation ratchet for the
+//! `// tao-lint: hot` entry points.
+//!
+//! PR 9's scratch router and PR 6's timing wheel promise *steady-state*
+//! allocation-free operation, but until now the promise was enforced only
+//! by benchmarks. This pass proves it statically, the same way
+//! panic-reachability is ratcheted: a function definition annotated with
+//! a `// tao-lint: hot` marker (trailing, or stacked on the lines above
+//! the item) seeds a forward BFS over the approximate call graph, and
+//! every function in that *hot closure* is scanned for allocation sites —
+//! collection growth (`.push(`, `.insert(`, `.resize(`, …), fresh
+//! containers (`Vec::new`, `String::with_capacity`, `vec![…]`),
+//! owning conversions (`.collect(`, `.to_vec(`, `.to_owned(`,
+//! `.to_string(`, `.clone(`), `format!`, and boxing (`Box::new`,
+//! `Rc::new`, `Arc::new`).
+//!
+//! Each finding anchors at the **allocation site** (line-free key
+//! `alloc-reachability:<crate>:<file-stem>::<qual>:<kind>`), carries the
+//! witness chain from the nearest hot entry to the allocating function,
+//! and can be discharged three ways, strictest first: hoist the
+//! allocation out of the hot closure (fix), waive it in place with
+//! `// tao-lint: allow(alloc-reachability, reason = "…")` (intentional),
+//! or leave it in the committed baseline (known-legal amortized growth —
+//! scratch buffers on first use, the wheel's overflow spill — which only
+//! ever shrinks).
+//!
+//! Like every `tao-lint` pass the scan is over-approximate: an unqualified
+//! `.method(…)` call can pull same-name methods into the closure, and a
+//! `.clone()` of a `Copy` value is flagged even though it never touches
+//! the heap. False positives cost a waiver with a written reason; false
+//! negatives would cost the paper's million-entry steady state.
+
+use crate::graph::CallGraph;
+use crate::items::Item;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+
+/// How a node joined the hot closure.
+#[derive(Debug, Clone, Copy)]
+pub struct HotReach {
+    /// Call-graph hops from the nearest hot entry (0 = is an entry).
+    pub hops: u32,
+    /// Node index of that entry.
+    pub entry: usize,
+    /// Predecessor on the BFS tree (`None` for entries).
+    pub parent: Option<usize>,
+}
+
+/// Computes the hot closure: for every node, how it is reached from the
+/// nearest `// tao-lint: hot` entry, or `None` when it is not reachable
+/// from any. `hot_lines[f]` holds the hot-marked lines of graph-input
+/// file `f` (a marker attaches to the item defined on its effective
+/// line).
+pub fn hot_closure(graph: &CallGraph, hot_lines: &[Vec<u32>]) -> Vec<Option<HotReach>> {
+    let n = graph.nodes.len();
+    let mut reach: Vec<Option<HotReach>> = vec![None; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if hot_lines
+            .get(node.file)
+            .is_some_and(|lines| lines.contains(&node.line))
+        {
+            reach[i] = Some(HotReach { hops: 0, entry: i, parent: None });
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        let here = reach[i].expect("queued nodes are marked"); // tao-lint: allow(no-unwrap-in-lib, reason = "queued nodes are marked before push")
+        for &j in graph.callees(i) {
+            if reach[j].is_none() {
+                reach[j] = Some(HotReach {
+                    hops: here.hops + 1,
+                    entry: here.entry,
+                    parent: Some(i),
+                });
+                queue.push_back(j);
+            }
+        }
+    }
+    reach
+}
+
+/// The witness chain from node `i`'s hot entry down to `i`, as `qual`
+/// names (entry first). Empty when `i` is not in the closure.
+pub fn hot_chain(graph: &CallGraph, hot: &[Option<HotReach>], i: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut cur = Some(i);
+    let mut guard = 0;
+    while let Some(c) = cur {
+        chain.push(graph.nodes[c].qual.clone());
+        cur = hot.get(c).and_then(|r| r.as_ref()).and_then(|r| r.parent);
+        guard += 1;
+        if guard > 64 {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Methods that grow a collection in place (possibly reallocating).
+const GROWTH_METHODS: [&str; 15] = [
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "resize",
+    "resize_with",
+    "extend",
+    "extend_from_slice",
+    "reserve",
+    "reserve_exact",
+    "append",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "split_off",
+];
+
+/// Container types whose constructors mark a fresh heap-backed value.
+const CONTAINER_TYPES: [&str; 9] = [
+    "Vec", "VecDeque", "String", "BinaryHeap", "BTreeMap", "BTreeSet", "DetMap", "DetSet",
+    "HashMap",
+];
+
+/// Container constructor names (`Vec::new`, `String::with_capacity`, …).
+const CONTAINER_CTORS: [&str; 4] = ["new", "with_capacity", "from", "from_iter"];
+
+/// One allocation site inside a function.
+#[derive(Debug, Clone)]
+struct AllocSite {
+    /// Stable kind slug for the finding key.
+    kind: &'static str,
+    /// Human-readable site description (`` `.push(` `` etc.).
+    what: String,
+    line: u32,
+    col: u32,
+}
+
+/// Scans a node's token span for allocation sites.
+fn scan_alloc_sites(code: &[&Token], tok: (usize, usize)) -> Vec<AllocSite> {
+    let mut out = Vec::new();
+    let (lo, hi) = (tok.0.min(code.len()), tok.1.min(code.len()));
+    for i in lo..hi {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let text = |k: usize| code.get(i + k).map(|t| t.text.as_str()).unwrap_or("");
+        let prev_dot = i > lo && code[i - 1].text == ".";
+        let site = if prev_dot && text(1) == "(" && GROWTH_METHODS.contains(&name) {
+            Some(("growth", format!("grows a collection via `.{name}(`")))
+        } else if prev_dot && text(1) == "(" && name == "collect" {
+            Some(("collect", "materializes an iterator via `.collect()`".to_string()))
+        } else if prev_dot && text(1) == "(" && name == "to_vec" {
+            Some(("to-vec", "copies a slice via `.to_vec()`".to_string()))
+        } else if prev_dot && text(1) == "(" && (name == "to_owned" || name == "to_string") {
+            Some(("to-owned", format!("takes ownership via `.{name}()`")))
+        } else if prev_dot && text(1) == "(" && name == "clone" {
+            Some(("clone", "clones an owning value via `.clone()`".to_string()))
+        } else if (name == "vec" || name == "format") && text(1) == "!" {
+            Some((
+                if name == "vec" { "vec-macro" } else { "format" },
+                format!("builds a fresh container via `{name}![…]`"),
+            ))
+        } else if text(1) == "::"
+            && CONTAINER_TYPES.contains(&name)
+            && CONTAINER_CTORS.contains(&text(2))
+        {
+            Some(("container-new", format!("constructs `{}::{}`", name, text(2))))
+        } else if text(1) == "::"
+            && text(2) == "new"
+            && (name == "Box" || name == "Rc" || name == "Arc")
+        {
+            Some(("box", format!("heap-allocates via `{name}::new`")))
+        } else {
+            None
+        };
+        if let Some((kind, what)) = site {
+            out.push(AllocSite { kind, what, line: t.line, col: t.col });
+        }
+    }
+    out
+}
+
+/// Runs the alloc-reachability pass: every node in the hot closure is
+/// scanned for allocation sites, one finding per `(function, site kind)`
+/// anchored at the first site of that kind.
+pub fn alloc_findings(
+    graph: &CallGraph,
+    files: &[(String, String, Vec<&Token>, Vec<Item>)],
+    hot: &[Option<HotReach>],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let Some(reach) = hot.get(i).and_then(|r| r.as_ref()) else {
+            continue;
+        };
+        let code = &files[node.file].2;
+        let sites = scan_alloc_sites(code, node.tok);
+        if sites.is_empty() {
+            continue;
+        }
+        let mut per_kind: BTreeMap<&'static str, &AllocSite> = BTreeMap::new();
+        for s in &sites {
+            per_kind.entry(s.kind).or_insert(s);
+        }
+        let stem = node
+            .path
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or("?");
+        let entry = &graph.nodes[reach.entry];
+        let chain = hot_chain(graph, hot, i);
+        let via = if chain.len() > 1 {
+            format!(" via {}", chain.join(" → "))
+        } else {
+            String::new()
+        };
+        for site in per_kind.values() {
+            out.push(Finding {
+                rule: Rule::AllocReachability,
+                path: node.path.clone(),
+                line: site.line,
+                col: site.col,
+                key: format!(
+                    "alloc-reachability:{}:{}::{}:{}",
+                    node.krate, stem, node.qual, site.kind
+                ),
+                message: format!(
+                    "fn `{}` {} inside the hot closure of `{}`{}; steady-state \
+                     hot paths must not allocate — hoist the allocation into \
+                     setup, reuse a scratch buffer, or acknowledge it with \
+                     `// tao-lint: allow(alloc-reachability, reason = \"...\")` \
+                     at the allocation site",
+                    node.qual, site.what, entry.qual, via
+                ),
+            });
+        }
+    }
+    out
+}

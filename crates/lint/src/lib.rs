@@ -14,9 +14,13 @@
 //! recovers the item/module tree of every file from the token stream,
 //! [`graph`] links the items into an approximate cross-crate call graph,
 //! and four graph-level rules ride on top — panic-reachability,
-//! crate-layering, seed-discipline, and unused-waiver. Findings
-//! serialize to a stable JSON report ([`report`]) that CI diffs against
-//! the committed `lint-baseline.json`; the baseline may only shrink.
+//! crate-layering, seed-discipline, and unused-waiver. v3 added the
+//! dataflow passes ([`taint`], [`locks`]); v4 adds the hot-path passes
+//! ([`alloc`], [`arith`]), which prove the zero-allocation and
+//! overflow-safety disciplines of the routing/wheel kernels from
+//! `// tao-lint: hot` entry markers. Findings serialize to a stable JSON
+//! report ([`report`]) that CI diffs against the committed
+//! `lint-baseline.json`; the baseline may only shrink.
 //!
 //! Run it over the whole workspace with:
 //!
@@ -25,6 +29,8 @@
 //!     --json results/lint.json --baseline lint-baseline.json
 //! ```
 
+pub mod alloc;
+pub mod arith;
 pub mod graph;
 pub mod items;
 pub mod lexer;

@@ -86,10 +86,19 @@ pub enum Rule {
     /// A `thread::scope`/`spawn`/`par_map` closure mutates captured
     /// non-local state without a `Mutex`/channel step.
     ScopeSharedMut,
+    /// An allocation site (collection growth, `collect`, `clone`,
+    /// `String`/`format!`, `Box`) transitively reachable from a
+    /// `// tao-lint: hot` entry point. Hot paths must be allocation-free
+    /// in the steady state. See [`crate::alloc`].
+    AllocReachability,
+    /// Unguarded `+`/`-`/`*` on time-carrying values, a truncating
+    /// `as`-cast, or indexing arithmetic, inside the hot closure. See
+    /// [`crate::arith`].
+    ArithSafety,
 }
 
 /// Every enforced rule, in reporting order.
-pub const ALL_RULES: [Rule; 14] = [
+pub const ALL_RULES: [Rule; 16] = [
     Rule::DetCollections,
     Rule::NoWallClock,
     Rule::NoUnwrapInLib,
@@ -104,6 +113,8 @@ pub const ALL_RULES: [Rule; 14] = [
     Rule::LockPoison,
     Rule::LockAcrossCall,
     Rule::ScopeSharedMut,
+    Rule::AllocReachability,
+    Rule::ArithSafety,
 ];
 
 /// The token-level rules enforced by the single-file [`lint_source`].
@@ -220,6 +231,8 @@ impl Rule {
             Rule::LockPoison => "lock-poison",
             Rule::LockAcrossCall => "lock-across-call",
             Rule::ScopeSharedMut => "scope-shared-mut",
+            Rule::AllocReachability => "alloc-reachability",
+            Rule::ArithSafety => "arith-safety",
         }
     }
 
@@ -338,7 +351,7 @@ pub fn lint_source(path: &str, source: &str, kind: FileKind) -> FileReport {
     let tokens = lex(source);
     let code = code_tokens(&tokens);
     let test_ranges = test_line_ranges(&code);
-    let (pragmas, bad) = collect_pragmas(path, &tokens, &code);
+    let (pragmas, _hot, bad) = collect_pragmas(path, &tokens, &code);
     let raw = token_rule_findings(path, &code, kind, &test_ranges, false);
 
     let mut report = FileReport::default();
@@ -378,6 +391,7 @@ pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
         test_ranges: Vec<(u32, u32)>,
         items: Vec<Item>,
         pragmas: Vec<Pragma>,
+        hot: Vec<u32>,
         bad: Vec<Finding>,
     }
     let analyzed: Vec<Analyzed> = parsed
@@ -386,8 +400,8 @@ pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
             let code = code_tokens(&p.tokens);
             let test_ranges = test_line_ranges(&code);
             let items = parse_items(&code);
-            let (pragmas, bad) = collect_pragmas(&p.file.path, &p.tokens, &code);
-            Analyzed { file: p.file, code, test_ranges, items, pragmas, bad }
+            let (pragmas, hot, bad) = collect_pragmas(&p.file.path, &p.tokens, &code);
+            Analyzed { file: p.file, code, test_ranges, items, pragmas, hot, bad }
         })
         .collect();
 
@@ -413,10 +427,20 @@ pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
             )
         })
         .collect();
+    // Hot-marked lines per graph-input file, aligned with `graph_input`
+    // (the hot-path passes look nodes up by file index + line).
+    let hot_lines: Vec<Vec<u32>> = analyzed
+        .iter()
+        .filter(|a| a.file.kind == FileKind::Lib)
+        .map(|a| a.hot.clone())
+        .collect();
     let graph = CallGraph::build(&graph_input);
     raw.extend(panic_reachability_findings(&graph));
     raw.extend(crate::taint::taint_findings(&graph, &graph_input));
     raw.extend(crate::locks::lock_findings(&graph, &graph_input));
+    let hot_set = crate::alloc::hot_closure(&graph, &hot_lines);
+    raw.extend(crate::alloc::alloc_findings(&graph, &graph_input, &hot_set));
+    raw.extend(crate::arith::arith_findings(&graph, &graph_input, &hot_set));
 
     // Waiver application.
     let mut report = WorkspaceReport { files: files.len(), ..Default::default() };
@@ -464,7 +488,9 @@ pub fn lint_workspace(files: &[SourceFile]) -> WorkspaceReport {
                 Rule::DeterminismTaint
                 | Rule::LockOrderCycle
                 | Rule::LockAcrossCall
-                | Rule::ScopeSharedMut => false,
+                | Rule::ScopeSharedMut
+                | Rule::AllocReachability
+                | Rule::ArithSafety => false,
                 // Poison escapes are re-scanned relaxed (tests included):
                 // a belt-and-suspenders pragma on a real escape stays.
                 Rule::LockPoison => {
@@ -902,14 +928,16 @@ fn test_line_ranges(code: &[&Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
-/// Extracts waiver pragmas from comment tokens. Returns the valid
-/// pragmas plus `bad-pragma` findings for malformed ones.
+/// Extracts waiver pragmas and `hot` entry markers from comment tokens.
+/// Returns the valid pragmas, the lines marked hot, plus `bad-pragma`
+/// findings for malformed pragmas.
 fn collect_pragmas(
     path: &str,
     tokens: &[Token],
     code: &[&Token],
-) -> (Vec<Pragma>, Vec<Finding>) {
+) -> (Vec<Pragma>, Vec<u32>, Vec<Finding>) {
     let mut pragmas = Vec::new();
+    let mut hot = Vec::new();
     let mut bad = Vec::new();
     for t in tokens {
         if t.kind != TokenKind::Comment {
@@ -928,17 +956,33 @@ fn collect_pragmas(
             continue;
         };
         let rest = t.text[at + "tao-lint:".len()..].trim_start();
+        // A trailing directive covers its own line; a directive alone on
+        // a line covers the next *code* line — so a hot marker and a
+        // waiver pragma can stack above one item and both attach to it.
+        let has_code_on_line = code.iter().any(|c| c.line == t.line);
+        let effective_line = if has_code_on_line {
+            t.line
+        } else {
+            code.iter()
+                .find(|c| c.line > t.line)
+                .map(|c| c.line)
+                .unwrap_or(t.line + 1)
+        };
+        // A bare `hot` directive marks the entry point defined on the
+        // effective line for the hot-path passes; it is a marker, not a
+        // waiver, so it bypasses `parse_pragma`.
+        if rest.trim_end_matches(['.', ' ']).trim() == "hot" {
+            hot.push(effective_line);
+            continue;
+        }
         match parse_pragma(rest) {
             Ok((rules, _reason)) => {
-                // A trailing pragma covers its own line; a pragma alone
-                // on a line covers the next. A multi-rule pragma
-                // (`allow(r1, r2, reason = "…")`) registers one waiver
-                // per rule on the same line.
-                let has_code_on_line = code.iter().any(|c| c.line == t.line);
+                // A multi-rule pragma (`allow(r1, r2, reason = "…")`)
+                // registers one waiver per rule on the same line.
                 for rule in rules {
                     pragmas.push(Pragma {
                         rule,
-                        effective_line: if has_code_on_line { t.line } else { t.line + 1 },
+                        effective_line,
                         line: t.line,
                         col: t.col,
                     });
@@ -954,7 +998,7 @@ fn collect_pragmas(
             }),
         }
     }
-    (pragmas, bad)
+    (pragmas, hot, bad)
 }
 
 /// Parses `allow(<rule>[, <rule>…], reason = "<non-empty>")`. One pragma

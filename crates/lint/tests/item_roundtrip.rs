@@ -123,3 +123,51 @@ fn check_children(item: &tao_lint::items::Item, path: &str) {
         check_children(child, path);
     }
 }
+
+#[test]
+fn nested_turbofish_does_not_derail_span_recovery() {
+    // Deeply nested turbofish closes with the `>>`/`>>>`-adjacent runs a
+    // naive angle matcher miscounts. The item parser must still recover
+    // exactly two sibling fns, in order, each with a body span, and the
+    // comparison operators in the second body must not be mistaken for
+    // generic brackets.
+    let src = "\
+pub fn nested() -> usize {
+    let v = Vec::<Vec<Vec<u32>>>::new();
+    let m = v.iter().map(|x| x.len()).collect::<Vec<usize>>();
+    let pairs = m
+        .iter()
+        .map(|&n| (n, n))
+        .collect::<std::collections::BTreeMap<usize, usize>>();
+    pairs.len() + v.len()
+}
+
+pub fn sibling(a: usize, b: usize) -> bool {
+    a < b && b > a
+}
+";
+    let tokens = lex(src);
+    let code = code_tokens(&tokens);
+    let items = parse_items(&code);
+    let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["nested", "sibling"],
+        "turbofish swallowed an item boundary"
+    );
+    for item in &items {
+        assert!(
+            item.body.is_some(),
+            "fn `{}` lost its body span to angle-bracket miscounting",
+            item.name
+        );
+    }
+    assert!(
+        items[0].hi <= items[1].lo,
+        "recovered spans overlap: [{}, {}) then [{}, {})",
+        items[0].lo,
+        items[0].hi,
+        items[1].lo,
+        items[1].hi
+    );
+}

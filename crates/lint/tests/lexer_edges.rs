@@ -126,3 +126,48 @@ fn glued_path_separator_and_numbers_keep_offsets() {
         .collect();
     assert_eq!(numbers, vec!["0xFF_u32", "1.5e3"]);
 }
+
+#[test]
+fn raw_identifiers_lex_as_single_ident_tokens() {
+    // `r#fn` names a function and `r#type` a parameter: each is ONE
+    // identifier token — the `r#` must not open a raw string, and the
+    // keyword after the `#` must not surface as a separate token.
+    let src = "fn r#fn(r#type: u32) -> u32 { r#type }";
+    let tokens = lex(src);
+    assert_spans(src, &tokens);
+    let idents: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(idents, vec!["fn", "r#fn", "r#type", "u32", "u32", "r#type"]);
+    assert!(
+        !tokens.iter().any(|t| t.kind == TokenKind::Str),
+        "`r#` must not be misread as a raw-string opener"
+    );
+}
+
+#[test]
+fn byte_string_literals_in_all_three_forms() {
+    // Escaped byte string (with a `//` inside that must not open a
+    // comment), raw byte string, and a byte char, all on one line.
+    let src = r##"let a = b"x \" // y"; let r = br#"raw "b"#; let c = b'\n';"##;
+    let tokens = lex(src);
+    assert_spans(src, &tokens);
+    let strs: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(strs, vec![r#"b"x \" // y""#, r##"br#"raw "b"#"##]);
+    let chars: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec![r"b'\n'"]);
+    assert!(
+        !tokens.iter().any(|t| t.kind == TokenKind::Comment),
+        "`//` inside a byte string leaked as a comment"
+    );
+}

@@ -1,0 +1,24 @@
+//! Fixture: a hot entry that touches no allocation site stays quiet, and
+//! an allocating function OUTSIDE the hot closure stays quiet too.
+
+/// A counter with an allocation-free hot path and an allocating cold
+/// accessor.
+pub struct Counter {
+    total: u64,
+}
+
+impl Counter {
+    /// Hot entry: pure arithmetic, no allocation sites anywhere in its
+    /// closure.
+    // tao-lint: hot
+    pub fn bump_fast(&mut self) -> u64 {
+        self.total = self.total.saturating_add(1);
+        self.total
+    }
+
+    /// Allocates, but is not hot-marked and is called by no hot entry, so
+    /// the alloc-reachability pass must ignore it.
+    pub fn snapshot(&self) -> Vec<u64> {
+        vec![self.total]
+    }
+}

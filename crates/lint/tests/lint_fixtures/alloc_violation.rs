@@ -1,0 +1,27 @@
+//! Fixture: allocation sites reachable from `// tao-lint: hot` entry
+//! points — both directly in the entry and one call-graph hop away.
+
+/// A lookup table with a hot read path that (incorrectly) allocates.
+pub struct Table {
+    slots: Vec<u64>,
+}
+
+impl Table {
+    /// Hot entry whose callee grows a collection: the finding anchors at
+    /// the `.push(` site inside `record`, one hop down the chain.
+    // tao-lint: hot
+    pub fn lookup_fast(&mut self, key: u64) -> u64 {
+        self.record(key);
+        key
+    }
+
+    fn record(&mut self, key: u64) {
+        self.slots.push(key);
+    }
+
+    /// Hot entry that allocates directly via `format!`.
+    // tao-lint: hot
+    pub fn label_fast(&self) -> String {
+        format!("table/{}", self.slots.len())
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: the guarded forms of every arith-safety hazard stay quiet —
+//! saturating time arithmetic, a mask before the narrowing cast, and a
+//! bounded index.
+
+/// A miniature clock doing everything the safe way.
+pub struct Clock {
+    cursor: u64,
+    lanes: [u64; 8],
+}
+
+impl Clock {
+    /// Hot entry: saturating add, masked cast, panic-free lane access.
+    // tao-lint: hot
+    pub fn tick_fast(&mut self, step: u64) -> u64 {
+        self.cursor = self.cursor.saturating_add(step);
+        let lane = (self.cursor & 7) as u32;
+        self.lanes.get(lane as usize).copied().unwrap_or(0)
+    }
+}

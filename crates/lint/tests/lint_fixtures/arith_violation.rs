@@ -1,0 +1,20 @@
+//! Fixture: all three arith-safety site kinds inside one hot entry —
+//! unguarded time arithmetic, a truncating cast, and index arithmetic.
+//! The stacked `hot` marker + `allow` pragma also exercises the
+//! next-code-line attachment rule: both must bind to the `fn` line.
+
+/// A miniature timing wheel with every overflow hazard left unguarded.
+pub struct Wheel {
+    cursor: u64,
+    lanes: [u64; 8],
+}
+
+impl Wheel {
+    // tao-lint: hot
+    // tao-lint: allow(panic-reachability, reason = "fixture: the lane index is the arith-safety target, not the panic path")
+    pub fn advance_fast(&mut self, step: u64) -> u64 {
+        self.cursor = self.cursor + step;
+        let lane = self.cursor as u32;
+        self.lanes[(lane as usize) * 2 + 1]
+    }
+}

@@ -1,0 +1,225 @@
+//! Golden test for the v4 hot-path passes (alloc-reachability +
+//! arith-safety): each pass must fire on its violation fixture with the
+//! exact expected positions, messages, and hot-entry witness chains, and
+//! stay quiet on its clean fixture. Fixtures are linted as a synthetic
+//! mini-workspace, so the golden is stable regardless of the real
+//! workspace's state.
+
+use tao_lint::rules::{lint_workspace, FileKind, Rule, SourceFile};
+
+/// `(path, crate, kind, source)` for every hot-path fixture.
+const FIXTURES: &[(&str, &str, FileKind, &str)] = &[
+    (
+        "crates/overlay/src/alloc_violation.rs",
+        "tao-overlay",
+        FileKind::Lib,
+        include_str!("lint_fixtures/alloc_violation.rs"),
+    ),
+    (
+        "crates/overlay/src/alloc_clean.rs",
+        "tao-overlay",
+        FileKind::Lib,
+        include_str!("lint_fixtures/alloc_clean.rs"),
+    ),
+    (
+        "crates/sim/src/arith_violation.rs",
+        "tao-sim",
+        FileKind::Lib,
+        include_str!("lint_fixtures/arith_violation.rs"),
+    ),
+    (
+        "crates/sim/src/arith_clean.rs",
+        "tao-sim",
+        FileKind::Lib,
+        include_str!("lint_fixtures/arith_clean.rs"),
+    ),
+];
+
+const GOLDEN: &str = include_str!("lint_fixtures/expected_hotpath.txt");
+
+const HOTPATH_RULES: [Rule; 2] = [Rule::AllocReachability, Rule::ArithSafety];
+
+fn sources() -> Vec<SourceFile> {
+    FIXTURES
+        .iter()
+        .map(|(path, krate, kind, source)| SourceFile {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            kind: *kind,
+            source: source.to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn hotpath_findings_match_golden_file() {
+    let report = lint_workspace(&sources());
+    let mut actual = String::new();
+    for finding in &report.findings {
+        actual.push_str(&finding.render());
+        actual.push('\n');
+    }
+    assert_eq!(
+        actual.trim_end(),
+        GOLDEN.trim_end(),
+        "\n--- actual findings ---\n{actual}\n--- update lint_fixtures/expected_hotpath.txt if this change is intended ---"
+    );
+}
+
+#[test]
+fn clean_fixtures_stay_quiet() {
+    let report = lint_workspace(&sources());
+    for f in &report.findings {
+        assert!(
+            !f.path.ends_with("_clean.rs"),
+            "clean fixture produced a finding: {}",
+            f.render()
+        );
+    }
+}
+
+#[test]
+fn both_hotpath_rules_fire_somewhere() {
+    let report = lint_workspace(&sources());
+    for rule in HOTPATH_RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "no fixture exercises hot-path rule `{}`",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn hotpath_keys_are_line_free() {
+    // The stable keys must not contain line numbers, so the committed
+    // baseline does not churn when unrelated edits shift code.
+    let report = lint_workspace(&sources());
+    for f in &report.findings {
+        if !HOTPATH_RULES.contains(&f.rule) {
+            continue;
+        }
+        let line_str = format!(":{}", f.line);
+        assert!(
+            !f.key.contains(&line_str),
+            "key `{}` embeds line {}",
+            f.key,
+            f.line
+        );
+    }
+}
+
+#[test]
+fn alloc_finding_carries_the_hot_entry_chain() {
+    // The `.push(` site in `record` is one hop from the hot entry; the
+    // message must name the entry and walk the chain down to the owner.
+    let report = lint_workspace(&sources());
+    let growth = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::AllocReachability && f.key.ends_with(":growth"))
+        .expect("growth fixture must fire");
+    assert!(
+        growth.message.contains("hot closure of `Table::lookup_fast`"),
+        "hot entry missing from: {}",
+        growth.message
+    );
+    assert!(
+        growth.message.contains("Table::lookup_fast → Table::record"),
+        "witness chain missing from: {}",
+        growth.message
+    );
+}
+
+#[test]
+fn all_three_arith_kinds_fire_in_the_violation_fixture() {
+    let report = lint_workspace(&sources());
+    for kind in ["time-arith", "truncating-cast", "index-arith"] {
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == Rule::ArithSafety && f.key.ends_with(kind)),
+            "arith kind `{kind}` did not fire"
+        );
+    }
+}
+
+#[test]
+fn hot_marker_stacks_with_allow_pragmas_on_one_item() {
+    // `advance_fast` carries a stacked hot marker AND a
+    // panic-reachability waiver on the lines above the `fn`; both must
+    // attach to it — the entry is hot (arith findings exist) and the
+    // indexing panic is waived (no panic-reachability finding).
+    let report = lint_workspace(&sources());
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule != Rule::PanicReachability),
+        "stacked waiver failed to attach: {:?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::PanicReachability)
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+    );
+    assert!(report
+        .waived
+        .iter()
+        .any(|(r, _, _)| *r == Rule::PanicReachability));
+}
+
+#[test]
+fn site_waiver_silences_the_alloc_finding() {
+    // A waiver at the allocation site (not the entry point) discharges
+    // the finding, mirroring how the runtime crates acknowledge legal
+    // amortized growth.
+    let src = "pub struct B { v: Vec<u64> }\n\
+               impl B {\n    \
+               // tao-lint: hot\n    \
+               pub fn hot_append(&mut self, x: u64) {\n        \
+               self.v.push(x); // tao-lint: allow(alloc-reachability, reason = \"fixture: amortized growth\")\n    \
+               }\n}\n";
+    let report = lint_workspace(&[SourceFile {
+        path: "crates/overlay/src/site_waiver.rs".to_string(),
+        krate: "tao-overlay".to_string(),
+        kind: FileKind::Lib,
+        source: src.to_string(),
+    }]);
+    assert!(
+        report.findings.is_empty(),
+        "site waiver must silence the finding: {:?}",
+        report.findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+    );
+    assert!(report
+        .waived
+        .iter()
+        .any(|(r, _, _)| *r == Rule::AllocReachability));
+}
+
+#[test]
+fn unmarked_workspace_produces_no_hotpath_findings() {
+    // Without any `hot` marker the closure is empty: the passes are
+    // strictly opt-in and cannot fire on unannotated code.
+    let src = "pub struct P { v: Vec<u64> }\n\
+               impl P {\n    \
+               pub fn append(&mut self, x: u64) {\n        \
+               self.v.push(x);\n    \
+               }\n}\n";
+    let report = lint_workspace(&[SourceFile {
+        path: "crates/overlay/src/unmarked.rs".to_string(),
+        krate: "tao-overlay".to_string(),
+        kind: FileKind::Lib,
+        source: src.to_string(),
+    }]);
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| !HOTPATH_RULES.contains(&f.rule)),
+        "hot-path rule fired without a hot marker: {:?}",
+        report.findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+    );
+}

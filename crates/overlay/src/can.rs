@@ -225,12 +225,14 @@ impl CanOverlay {
     /// Lower bounds of node `i`'s primary zone, one entry per axis.
     fn primary_lo(&self, i: usize) -> &[f64] {
         let base = i * 2 * self.dims;
+        // tao-lint: allow(arith-safety, reason = "dense SoA layout: i < id_bound and dims is fixed at construction, so base + dims <= bounds.len() by the arena invariant")
         &self.bounds[base..base + self.dims]
     }
 
     /// Upper bounds of node `i`'s primary zone, one entry per axis.
     fn primary_hi(&self, i: usize) -> &[f64] {
         let base = i * 2 * self.dims + self.dims;
+        // tao-lint: allow(arith-safety, reason = "dense SoA layout: i < id_bound and dims is fixed at construction, so base + dims <= bounds.len() by the arena invariant")
         &self.bounds[base..base + self.dims]
     }
 
@@ -925,6 +927,7 @@ impl CanOverlay {
     /// in `scratch` and are reused across calls. On success the hop
     /// sequence (source first) is in [`RouteScratch::hops`]; on error the
     /// scratch is still reusable.
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "scratch stamps are sized by begin_can(id_bound()) before any mark; the greedy tail indexes bounds by live ids validated by ensure_live")
     pub fn route_into(
         &self,

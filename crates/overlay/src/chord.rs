@@ -343,6 +343,7 @@ impl ChordOverlay {
     /// # Errors
     ///
     /// Same conditions as [`ChordOverlay::route`].
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "routing walks finger tables of live members only; every hop id is a ring member by construction")
     pub fn route_into(
         &self,

@@ -125,6 +125,7 @@ pub trait NeighborSelector {
     /// which falls back to [`NeighborSelector::select`]; selectors that
     /// can choose in O(depth) — e.g. by sampling the box — override this
     /// so million-node table builds never enumerate half the overlay.
+    // tao-lint: hot
     fn select_in_box(
         &mut self,
         _for_node: OverlayNodeId,
@@ -194,6 +195,7 @@ impl NeighborSelector for SampledRandomSelector {
         candidates[self.rng.gen_range(0..candidates.len())]
     }
 
+    // tao-lint: hot
     fn select_in_box(
         &mut self,
         for_node: OverlayNodeId,
@@ -726,6 +728,7 @@ impl EcanOverlay {
     /// sequence (source first) is in
     /// [`RouteScratch::hops`](crate::RouteScratch::hops); on error the
     /// scratch is still reusable.
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "scratch stamps are sized by begin_can(id_bound()) before any mark; distances index bounds by live ids and the stuck-fallback delegates to route_append's guarded edges")
     pub fn route_express_into(
         &self,

@@ -462,6 +462,7 @@ impl PastryOverlay {
     /// # Errors
     ///
     /// Same conditions as [`PastryOverlay::route`].
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "the unreachable! hop bound mirrors the allocating oracle's defensive invariant; the expect is guarded by the membership check on every hop")
     pub fn route_into(
         &self,

@@ -73,6 +73,7 @@ impl RouteScratch {
     /// Arms the scratch for a CAN-family route over an arena of `bound`
     /// dense slots: clears the hop buffer and starts a fresh visited
     /// generation covering `0..bound`.
+    // tao-lint: hot
     pub(crate) fn begin_can(&mut self, bound: usize) {
         self.hops.clear();
         self.refresh_visited(bound);
@@ -81,6 +82,7 @@ impl RouteScratch {
     /// Starts a fresh visited generation *without* touching the hop buffer
     /// — used by the eCAN stuck-fallback, which splices a plain-CAN tail
     /// (routed on its own visited set) onto the express prefix.
+    // tao-lint: hot
     pub(crate) fn refresh_visited(&mut self, bound: usize) {
         if self.stamps.len() < bound {
             self.stamps.resize(bound, 0);
@@ -96,36 +98,43 @@ impl RouteScratch {
     }
 
     /// Marks dense slot `i` visited in the current generation.
+    // tao-lint: hot
     pub(crate) fn mark(&mut self, i: usize) {
         self.stamps[i] = self.epoch;
     }
 
     /// `true` if dense slot `i` was visited in the current generation.
+    // tao-lint: hot
     pub(crate) fn is_marked(&self, i: usize) -> bool {
         self.stamps[i] == self.epoch
     }
 
     /// Appends a hop to the CAN-family buffer.
+    // tao-lint: hot
     pub(crate) fn push_hop(&mut self, id: OverlayNodeId) {
         self.hops.push(id);
     }
 
     /// Length of the CAN-family hop buffer.
+    // tao-lint: hot
     pub(crate) fn hops_len(&self) -> usize {
         self.hops.len()
     }
 
     /// Arms the scratch for a ring route: clears the ring hop buffer.
+    // tao-lint: hot
     pub(crate) fn begin_ring(&mut self) {
         self.ring_hops.clear();
     }
 
     /// Appends a hop to the ring buffer.
+    // tao-lint: hot
     pub(crate) fn push_ring_hop(&mut self, id: u64) {
         self.ring_hops.push(id);
     }
 
     /// Length of the ring hop buffer.
+    // tao-lint: hot
     pub(crate) fn ring_hops_len(&self) -> usize {
         self.ring_hops.len()
     }

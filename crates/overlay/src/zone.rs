@@ -38,6 +38,7 @@ impl Zone {
     pub fn whole(dims: usize) -> Self {
         assert!(dims > 0, "a zone needs at least one dimension");
         Zone {
+            // tao-lint: allow(alloc-reachability, reason = "zone materialization runs at join/table-build/sample time, not on the route_into fast paths; a sampled box pick pays one descent, never a per-hop allocation")
             lo: vec![0.0; dims],
             hi: vec![1.0; dims],
         }
@@ -141,6 +142,7 @@ impl Zone {
     pub fn split(&self, axis: usize) -> (Zone, Zone) {
         assert!(axis < self.dims(), "axis {axis} out of range");
         let mid = (self.lo[axis] + self.hi[axis]) / 2.0;
+        // tao-lint: allow(alloc-reachability, reason = "split materializes the two child zones at join/sample time, not on the route_into fast paths")
         let mut lower = self.clone();
         let mut upper = self.clone();
         lower.hi[axis] = mid;

@@ -339,6 +339,7 @@ impl<M, L> Simulator<M, L> {
     pub fn set_timer(&mut self, owner: NodeId, delay: SimDuration, payload: M) {
         self.check_node(owner);
         self.queue
+            // tao-lint: allow(arith-safety, reason = "SimTime + SimDuration dispatches to the saturating Add impl in tao-util::time; a deadline past the horizon clamps to SimTime::MAX instead of wrapping")
             .schedule(self.now + delay, Pending::Fire(Timer { owner, payload }));
     }
 
@@ -396,10 +397,12 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
                     self.stats.record_duplicate();
                     self.queue.schedule(
                         self.now + delay + dup_extra,
+                        // tao-lint: allow(alloc-reachability, reason = "a fault-injected duplicate needs its own owned payload; duplication is a rare fault event, not steady-state delivery")
                         Pending::Deliver(Message { from, to, payload: payload.clone() }),
                     );
                 }
                 self.queue.schedule(
+                    // tao-lint: allow(arith-safety, reason = "SimTime + SimDuration dispatches to the saturating Add impl in tao-util::time; a delivery past the horizon clamps to SimTime::MAX instead of wrapping")
                     self.now + delay + extra,
                     Pending::Deliver(Message { from, to, payload }),
                 );
@@ -415,6 +418,7 @@ impl<M: Clone, L: LatencyModel> Simulator<M, L> {
     /// are counted as drops; timers are simply lost) and processing moves on
     /// to the next event, so `Some` means a handler actually ran. Returns
     /// the handler's output, or `None` when the queue is empty.
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "stepping panics only if the event heap and clock disagree, an engine bug the invariant harness would catch")
     pub fn step<R>(
         &mut self,

@@ -248,6 +248,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is empty.
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "slot index is level*64+slot with slot = tick & 63, always in bounds by construction")
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         loop {
@@ -289,6 +290,7 @@ impl<E> EventQueue<E> {
     /// The instant of the earliest pending event, advancing internal
     /// bookkeeping (cascades) as needed. Amortized O(1); the engine's hot
     /// path uses this instead of [`peek_time`](Self::peek_time).
+    // tao-lint: hot
     // tao-lint: allow(panic-reachability, reason = "slot index is level*64+slot with slot = tick & 63, always in bounds by construction")
     pub fn next_time(&mut self) -> Option<SimTime> {
         loop {
@@ -364,9 +366,11 @@ impl<E> EventQueue<E> {
             return;
         }
         let level = level_for(delta);
+        // tao-lint: allow(arith-safety, reason = "level < LEVELS (a one-digit constant) by level_for's construction, so the u32 cast cannot truncate")
         let shift = LEVEL_BITS * level as u32;
         let slot = ((e.at >> shift) & (SLOTS as u64 - 1)) as usize;
         self.occupied[level] |= 1 << slot;
+        // tao-lint: allow(arith-safety, reason = "level < LEVELS and slot = tick & 63 < SLOTS, so level*SLOTS+slot < slots.len() by construction — the same invariant the panic-reachability waiver on pop() records")
         self.slots[level * SLOTS + slot].push(e);
     }
 
@@ -411,6 +415,7 @@ impl<E> EventQueue<E> {
             // entry cascading into a lower ambiguous slot is caught in the
             // same sweep.
             for l in (1..LEVELS).rev() {
+                // tao-lint: allow(arith-safety, reason = "l < LEVELS (a one-digit constant), so the u32 cast cannot truncate")
                 let shift = LEVEL_BITS * l as u32;
                 let idx = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as usize;
                 if self.occupied[l] & (1u64 << idx) == 0 {
@@ -501,6 +506,7 @@ impl<E> EventQueue<E> {
                     // (each is now < 64^l ticks ahead, so lands at < l).
                     self.cursor = start;
                     self.occupied[l] &= !(1u64 << s);
+                    // tao-lint: allow(arith-safety, reason = "l < LEVELS and s < SLOTS (a trailing_zeros of a 64-bit occupancy word), so l*SLOTS+s < slots.len() by construction")
                     let mut drained = std::mem::take(&mut self.slots[l * SLOTS + s]);
                     for e in drained.drain(..) {
                         self.place(e);
@@ -550,6 +556,7 @@ impl<E> HeapQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live += 1;
+        // tao-lint: allow(alloc-reachability, reason = "the binary-heap oracle queue allocates per entry by design; it exists as the wheel's correctness baseline, not the steady-state engine")
         self.heap.push(Reverse(WheelEntry {
             at: at.as_micros(),
             seq,

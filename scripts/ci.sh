@@ -39,14 +39,23 @@ cargo test -q --offline
 # tao-lint derives the file set from the workspace manifests (its own crate
 # included), enforces the five token rules, the four structural rules
 # (panic-reachability, crate-layering, seed-discipline, unused-waiver),
-# and the five dataflow rules (determinism-taint, lock-order-cycle,
-# lock-poison, lock-across-call, scope-shared-mut), writes the stable JSON
-# report, and diffs it against the committed baseline: any finding not in
-# lint-baseline.json fails CI, and so does a stale baseline entry — the
-# baseline only shrinks, never grows.
+# the five dataflow rules (determinism-taint, lock-order-cycle,
+# lock-poison, lock-across-call, scope-shared-mut), and the two hot-path
+# rules scoped to `// tao-lint: hot` closures (alloc-reachability,
+# arith-safety), writes the stable JSON report, and diffs it against the
+# committed baseline: any finding not in lint-baseline.json fails CI, and
+# so does a stale baseline entry — the baseline only shrinks, never grows.
+# The run is held to a 10s wall-time budget so the cost of the analysis
+# itself is ratcheted along with its findings.
+lint_start_ns=$(date +%s%N)
 cargo run --release --offline -p tao-lint -- --workspace \
     --json results/lint.json --baseline lint-baseline.json
-echo "lint stage: OK (matches lint-baseline.json)"
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+if [ "$lint_elapsed_ms" -ge 10000 ]; then
+    echo "FAIL: workspace lint run took ${lint_elapsed_ms}ms (budget: <10000ms)." >&2
+    exit 1
+fi
+echo "lint stage: OK (matches lint-baseline.json, ${lint_elapsed_ms}ms < 10s budget)"
 
 # Negative smoke: an injected layering violation (overlay reaching up into
 # the engine) must fail the baseline diff. The temp file is removed on every
@@ -128,6 +137,66 @@ rm -f "$smoke"
 trap - EXIT
 echo "lint negative smoke: OK (injected determinism taint fails the gate)"
 
+# Negative smoke: a Vec::push injected into the CAN routing fast path must
+# produce an alloc-reachability finding — `route_append` sits inside the
+# hot closure of the `// tao-lint: hot` entry `route_into` — and fail the
+# gate. Unlike the file-creation smokes above, this one edits a real
+# source file, so it is backed up first and restored on every exit path
+# (the lint run never compiles the workspace, so the injected code only
+# has to lex).
+target=crates/overlay/src/can.rs
+cp "$target" "$target.ci_bak"
+trap 'mv -f "$target.ci_bak" "$target"' EXIT
+python3 - "$target" <<'EOF'
+import sys
+path = sys.argv[1]
+src = open(path).read()
+needle = "        scratch.mark(start.index());\n        let mut current = start;"
+inject = ("        scratch.mark(start.index());\n"
+          "        let mut ci_smoke_trace: Vec<u64> = Vec::new();\n"
+          "        ci_smoke_trace.push(0u64);\n"
+          "        let mut current = start;")
+assert src.count(needle) == 1, "alloc-smoke injection anchor not found in can.rs"
+open(path, "w").write(src.replace(needle, inject))
+EOF
+if cargo run --release --offline -p tao-lint -- --workspace \
+    --json /tmp/tao-lint-smoke.json --baseline lint-baseline.json >/dev/null 2>&1; then
+    mv -f "$target.ci_bak" "$target"
+    trap - EXIT
+    echo "FAIL: injected hot-path Vec::push was not caught by alloc-reachability." >&2
+    exit 1
+fi
+mv -f "$target.ci_bak" "$target"
+trap - EXIT
+echo "lint negative smoke: OK (injected hot-path allocation fails the gate)"
+
+# Negative smoke: an unguarded (wrapping) `+` injected into the timing
+# wheel's cursor math must produce an arith-safety time-arith finding —
+# `place` sits inside the hot closure of `pop` — and fail the gate.
+target=crates/sim/src/event.rs
+cp "$target" "$target.ci_bak"
+trap 'mv -f "$target.ci_bak" "$target"' EXIT
+python3 - "$target" <<'EOF'
+import sys
+path = sys.argv[1]
+src = open(path).read()
+needle = "        let delta = e.at - self.cursor;"
+inject = ("        let delta = e.at - self.cursor;\n"
+          "        let ci_smoke_tick = self.cursor + delta;")
+assert src.count(needle) == 1, "arith-smoke injection anchor not found in event.rs"
+open(path, "w").write(src.replace(needle, inject))
+EOF
+if cargo run --release --offline -p tao-lint -- --workspace \
+    --json /tmp/tao-lint-smoke.json --baseline lint-baseline.json >/dev/null 2>&1; then
+    mv -f "$target.ci_bak" "$target"
+    trap - EXIT
+    echo "FAIL: injected wrapping cursor add was not caught by arith-safety." >&2
+    exit 1
+fi
+mv -f "$target.ci_bak" "$target"
+trap - EXIT
+echo "lint negative smoke: OK (injected wrapping cursor math fails the gate)"
+
 # JSON-shape check: the report from the honest run must expose all rules in
 # its per-rule summary (a missing key means a pass silently stopped running)
 # and carry the structural fields downstream tooling relies on.
@@ -144,6 +213,7 @@ expected_rules = [
     "crate-layering", "seed-discipline", "unused-waiver",
     "determinism-taint", "lock-order-cycle", "lock-poison",
     "lock-across-call", "scope-shared-mut",
+    "alloc-reachability", "arith-safety",
 ]
 missing = [r for r in expected_rules if r not in report["summary"]]
 if missing:

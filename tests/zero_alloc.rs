@@ -1,0 +1,202 @@
+//! PR-10 runtime cross-check of the static `alloc-reachability` claim:
+//! after one warm-up pass has sized every scratch buffer, `route_into`
+//! on all five overlays performs ZERO heap allocations.
+//!
+//! The static pass (`tao-lint`'s `alloc-reachability`) proves the hot
+//! closure of every `// tao-lint: hot` entry point free of allocation
+//! sites, modulo the committed baseline of first-use scratch growth.
+//! This test checks the same property dynamically with a counting
+//! `#[global_allocator]`, so the analysis and reality ratchet each
+//! other: a lint false negative shows up here, and a regression here
+//! names the allocation site via the lint's witness chain.
+//!
+//! Everything lives in ONE `#[test]` so no concurrent test can bleed
+//! allocations into the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tao_overlay::chord::{ChordOverlay, RingId};
+use tao_overlay::ecan::{EcanOverlay, SampledRandomSelector};
+use tao_overlay::pastry::{PastryId, PastryOverlay};
+use tao_overlay::{CanOverlay, OverlayNodeId, Point, RouteScratch, TaCanOverlay};
+use tao_topology::NodeIdx;
+use tao_util::rand::rngs::StdRng;
+use tao_util::rand::{Rng, SeedableRng};
+
+/// Counts every allocator entry (alloc, realloc, alloc_zeroed) and
+/// delegates to the system allocator. Deallocation is free and uncounted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocator entries during `f`.
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+const DIMS: usize = 2;
+const CALLS: usize = 200;
+
+fn churned_can(nodes: u32, leaves: usize, seed: u64) -> (CanOverlay, Vec<OverlayNodeId>) {
+    let mut can = CanOverlay::new(DIMS).expect("2-d CAN");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = Vec::new();
+    for i in 0..nodes {
+        ids.push(can.join(NodeIdx(i), Point::random(DIMS, &mut rng)));
+    }
+    for _ in 0..leaves {
+        let victim = ids.swap_remove(rng.gen_range(0..ids.len()));
+        can.leave(victim).expect("victim is live");
+    }
+    (can, ids)
+}
+
+fn can_family_calls(live: &[OverlayNodeId], seed: u64) -> Vec<(OverlayNodeId, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..CALLS)
+        .map(|_| {
+            (
+                live[rng.gen_range(0..live.len())],
+                Point::random(DIMS, &mut rng),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn warmed_route_into_makes_zero_heap_allocations_on_all_five_overlays() {
+    // --- setup (allocations unrestricted) ------------------------------
+    let (can, can_live) = churned_can(256, 32, 0x0a01);
+    let can_calls = can_family_calls(&can_live, 0x0a02);
+
+    let (ecan_base, ecan_live) = churned_can(256, 24, 0x0a03);
+    let ecan = EcanOverlay::build(ecan_base, &mut SampledRandomSelector::new(0x0a04));
+    let ecan_calls = can_family_calls(&ecan_live, 0x0a05);
+
+    let mut tacan = TaCanOverlay::new(DIMS, 4).expect("valid params");
+    let mut rng = StdRng::seed_from_u64(0x0a06);
+    let mut tacan_ids = Vec::new();
+    for i in 0..192u32 {
+        let mut ordering: Vec<usize> = (0..4).collect();
+        for j in (1..ordering.len()).rev() {
+            ordering.swap(j, rng.gen_range(0..j + 1));
+        }
+        tacan_ids.push(tacan.join(NodeIdx(i), &ordering, &mut rng));
+    }
+    let tacan_calls = can_family_calls(&tacan_ids, 0x0a07);
+
+    let mut chord = ChordOverlay::new();
+    let mut ring_members: Vec<RingId> = Vec::new();
+    for i in 0..128u32 {
+        let id: RingId = rng.gen();
+        chord.join(NodeIdx(i), id);
+        ring_members.push(id);
+    }
+    let chord_calls: Vec<(RingId, RingId)> = (0..CALLS)
+        .map(|_| (ring_members[rng.gen_range(0..ring_members.len())], rng.gen()))
+        .collect();
+
+    let mut pastry = PastryOverlay::new(8);
+    let mut pastry_members: Vec<PastryId> = Vec::new();
+    for i in 0..128u32 {
+        let id: PastryId = rng.gen();
+        pastry.join(NodeIdx(i), id);
+        pastry_members.push(id);
+    }
+    let pastry_calls: Vec<(PastryId, PastryId)> = (0..CALLS)
+        .map(|_| {
+            (
+                pastry_members[rng.gen_range(0..pastry_members.len())],
+                rng.gen(),
+            )
+        })
+        .collect();
+
+    let mut scratch = RouteScratch::new();
+
+    // --- warm-up: size the stamp array and both hop buffers ------------
+    // Every measured call runs once so the scratch has seen the largest
+    // arena bound and the longest hop sequence it will be asked to hold.
+    for (s, t) in &can_calls {
+        can.route_into(&mut scratch, *s, t).expect("warm-up routes");
+    }
+    for (s, t) in &ecan_calls {
+        ecan.route_express_into(&mut scratch, *s, t)
+            .expect("warm-up routes");
+    }
+    for (s, t) in &tacan_calls {
+        tacan.route_into(&mut scratch, *s, t).expect("warm-up routes");
+    }
+    for (s, k) in &chord_calls {
+        chord.route_into(&mut scratch, *s, *k).expect("warm-up routes");
+    }
+    for (s, k) in &pastry_calls {
+        pastry.route_into(&mut scratch, *s, *k).expect("warm-up routes");
+    }
+
+    // --- measurement: the same calls must not touch the allocator ------
+    let per_overlay: [(&str, u64); 5] = [
+        ("can", allocations(|| {
+            for (s, t) in &can_calls {
+                can.route_into(&mut scratch, *s, t).expect("warmed routes");
+            }
+        })),
+        ("ecan", allocations(|| {
+            for (s, t) in &ecan_calls {
+                ecan.route_express_into(&mut scratch, *s, t)
+                    .expect("warmed routes");
+            }
+        })),
+        ("tacan", allocations(|| {
+            for (s, t) in &tacan_calls {
+                tacan.route_into(&mut scratch, *s, t).expect("warmed routes");
+            }
+        })),
+        ("chord", allocations(|| {
+            for (s, k) in &chord_calls {
+                chord.route_into(&mut scratch, *s, *k).expect("warmed routes");
+            }
+        })),
+        ("pastry", allocations(|| {
+            for (s, k) in &pastry_calls {
+                pastry.route_into(&mut scratch, *s, *k).expect("warmed routes");
+            }
+        })),
+    ];
+
+    for (overlay, count) in per_overlay {
+        assert_eq!(
+            count, 0,
+            "{overlay}: warmed-up route_into hit the heap {count} time(s) \
+             across {CALLS} calls — the zero-allocation contract the \
+             alloc-reachability lint pass ratchets is broken"
+        );
+    }
+}
